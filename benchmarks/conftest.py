@@ -1,0 +1,43 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark regenerates one of the paper's tables/figures: it times the
+computational kernel (calibration, solving, sweeping) with pytest-benchmark
+and prints the regenerated rows/series — run with ``-s`` to see them inline;
+they are also written to ``benchmarks/output/<experiment>.txt``.
+
+The simulated-testbed measurements behind the experiments are memoised on
+disk (``.repro-cache/``), so the first run pays for the simulations and
+subsequent runs time only the methods themselves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a regenerated artefact and persist it under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(experiment_id: str, rendered: str) -> None:
+        print(f"\n{rendered}\n")
+        (OUTPUT_DIR / f"{experiment_id}.txt").write_text(rendered + "\n")
+
+    return _emit
+
+
+@pytest.fixture(scope="session")
+def warm_ground_truth():
+    """Warm the memoised measurements every experiment shares."""
+    from repro.experiments import ground_truth as gt
+    from repro.servers.catalogue import ALL_APP_SERVERS
+
+    for arch in ALL_APP_SERVERS:
+        gt.benchmarked_max_throughput(arch.name, fast=True)
+    gt.lqn_calibration(fast=True)
+    return gt

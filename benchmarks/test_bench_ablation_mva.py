@@ -1,0 +1,75 @@
+"""Ablation benchmark: exact MVA vs the Bard-Schweitzer approximation.
+
+DESIGN.md calls out the approximate-MVA core as a starred design decision:
+exact MVA is O(N) per class and exponential in the number of classes, while
+the Bard-Schweitzer fixed point is population-independent.  This bench
+quantifies both the speed gap and the accuracy cost at the case study's
+operating scale.
+"""
+
+import pytest
+
+from repro.lqn.mva import (
+    MvaInput,
+    Station,
+    solve_bard_schweitzer,
+    solve_exact_single_class,
+)
+from repro.util.tables import format_table
+
+import numpy as np
+
+STATIONS = [Station("app_cpu"), Station("db_cpu"), Station("disk")]
+DEMANDS = [5.376, 0.945, 1.368]
+THINK = 7000.0
+
+
+def _bs_input(population: int) -> MvaInput:
+    return MvaInput(
+        stations=STATIONS,
+        class_names=["browse"],
+        populations=[population],
+        think_times_ms=[THINK],
+        demands=np.array([DEMANDS]),
+    )
+
+
+@pytest.mark.parametrize("population", [200, 1400, 2800])
+def test_bench_exact_mva(benchmark, population):
+    benchmark(
+        lambda: solve_exact_single_class(STATIONS, DEMANDS, population, THINK)
+    )
+
+
+@pytest.mark.parametrize("population", [200, 1400, 2800])
+def test_bench_bard_schweitzer(benchmark, population):
+    benchmark(lambda: solve_bard_schweitzer(_bs_input(population)))
+
+
+def test_bench_mva_accuracy_report(benchmark, emit):
+    """Not a speed benchmark: records the approximation's accuracy table."""
+
+    def build_report() -> str:
+        rows = []
+        for population in (100, 700, 1400, 2100, 2800):
+            exact = solve_exact_single_class(STATIONS, DEMANDS, population, THINK)
+            approx = solve_bard_schweitzer(_bs_input(population))
+            r_exact = float(exact.cycle_response_ms[0])
+            r_approx = float(approx.cycle_response_ms[0])
+            rows.append(
+                (
+                    population,
+                    r_exact,
+                    r_approx,
+                    abs(r_approx - r_exact) / r_exact if r_exact else 0.0,
+                )
+            )
+        return format_table(
+            ["population", "exact R (ms)", "Bard-Schweitzer R (ms)", "rel. error"],
+            rows,
+            title="Ablation: exact MVA vs Bard-Schweitzer (case-study demands)",
+            precision=4,
+        )
+
+    report = benchmark(build_report)
+    emit("ablation_mva", report)

@@ -1,0 +1,63 @@
+"""Ablation benchmark: the paper's suggested layered-queuing improvement.
+
+Section 5.1: "it is likely that the layered queuing accuracies could be
+increased by better modelling of delays such as communication overhead."
+This repository implements that extension (a delay task carrying the
+client↔server round trip); the bench measures how much accuracy it buys —
+turning the paper's conjecture into a result.
+"""
+
+from repro.experiments import ground_truth as gt
+from repro.experiments.scenario import SOLVER_OPTIONS
+from repro.lqn.builder import build_trade_model
+from repro.lqn.solver import LqnSolver
+from repro.prediction.accuracy import AccuracyReport
+from repro.servers.catalogue import APP_SERV_F, APP_SERV_S
+from repro.simulation.system import DEFAULT_NETWORK_LATENCY_MS
+from repro.util.tables import format_table
+from repro.workload.trade import typical_workload
+
+_FRACTIONS = (0.25, 0.45, 0.6, 1.2, 1.5)
+
+
+def _accuracy(network_delay_ms: float) -> dict[str, float]:
+    calibration = gt.lqn_calibration(fast=True)
+    parameters = calibration.to_model_parameters(network_delay_ms=network_delay_ms)
+    solver = LqnSolver(SOLVER_OPTIONS)
+    out: dict[str, float] = {}
+    for arch in (APP_SERV_F, APP_SERV_S):
+        mx = gt.benchmarked_max_throughput(arch.name, fast=True)
+        n_at_max = mx / 0.1425
+        report = AccuracyReport(method="lqn", server=arch.name)
+        for frac in _FRACTIONS:
+            n = max(1, int(frac * n_at_max))
+            predicted = solver.solve(
+                build_trade_model(arch, typical_workload(n), parameters)
+            ).mean_response_ms()
+            measured = gt.measured_point(arch.name, n, fast=True).mean_response_ms
+            report.add(n, n_at_max, predicted, measured)
+        out[arch.name] = report.overall_accuracy
+    return out
+
+
+def test_bench_ablation_network_delay(benchmark, emit, warm_ground_truth):
+    # The round trip in the simulated testbed is 2x the one-way mean.
+    rtt = 2.0 * DEFAULT_NETWORK_LATENCY_MS
+
+    def build_report() -> str:
+        base = _accuracy(0.0)
+        extended = _accuracy(rtt)
+        rows = [
+            (server, f"{100 * base[server]:.1f}%", f"{100 * extended[server]:.1f}%")
+            for server in base
+        ]
+        return format_table(
+            ["server", "stock LQN accuracy", f"+{rtt:.0f}ms network task"],
+            rows,
+            title=(
+                "Ablation: layered accuracy with the communication-overhead "
+                "extension the paper proposes (section 5.1)"
+            ),
+        )
+
+    emit("ablation_network", benchmark.pedantic(build_report, rounds=1, iterations=1))

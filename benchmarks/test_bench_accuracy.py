@@ -1,0 +1,31 @@
+"""Benchmark: regenerate the sections 4-6 headline accuracy comparison.
+
+Kernel timed: computing all per-method, per-server accuracy aggregates from
+a completed evaluation (the evaluation itself is benchmarked in
+``test_bench_fig2``; this isolates the metric computation).
+"""
+
+import pytest
+
+from repro.experiments import accuracy_summary
+from repro.experiments.evaluation import METHODS, evaluate_all_methods
+
+
+@pytest.fixture(scope="module")
+def evaluation(warm_ground_truth):
+    return evaluate_all_methods(fast=True)
+
+
+def test_bench_accuracy(benchmark, emit, evaluation):
+    def aggregate():
+        return {
+            (method, established): (
+                evaluation.mrt_accuracy(method, established=established),
+                evaluation.throughput_accuracy(method, established=established),
+            )
+            for method in METHODS
+            for established in (True, False)
+        }
+
+    benchmark(aggregate)
+    emit("accuracy", accuracy_summary.run(fast=True).rendered)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate the section-7.2 caching study.
+
+Kernel timed: the cache-aware layered fixed point (outer Che/LQN iteration)
+— the extension the paper deems non-trivial, and the most expensive single
+prediction in the library.
+"""
+
+from repro.caching.analysis import solve_lqn_with_cache
+from repro.experiments import caching
+from repro.experiments import ground_truth as gt
+from repro.servers.catalogue import APP_SERV_S
+from repro.workload.trade import BROWSE_CLASS, typical_workload
+
+
+def test_bench_caching(benchmark, emit, warm_ground_truth):
+    parameters = gt.lqn_calibration(fast=True).to_model_parameters()
+    workload = typical_workload(400)
+    capacity = int(0.5 * 400 * BROWSE_CLASS.mean_session_bytes)
+    benchmark.pedantic(
+        lambda: solve_lqn_with_cache(APP_SERV_S, workload, parameters, capacity),
+        rounds=3,
+        iterations=1,
+    )
+    emit("caching", caching.run(fast=True).rendered)

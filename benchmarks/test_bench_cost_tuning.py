@@ -1,0 +1,19 @@
+"""Benchmark: single-axis cost tuning of the slack parameter.
+
+The paper's closing "current work" implemented: given a slack analysis,
+collapsing the two cost metrics through a provider cost model and finding
+the optimal slack is nearly free — the expensive part is the slack sweep
+itself (benchmarked in test_bench_fig7).
+"""
+
+from repro.experiments.fig7 import run_cost_analysis
+from repro.experiments.rm_common import build_rm_setup, default_loads
+from repro.resource_manager.cost import ProviderCostModel, optimal_slack
+
+
+def test_bench_cost_tuning(benchmark, emit, warm_ground_truth):
+    setup = build_rm_setup(fast=True)
+    analysis = setup.analysis([1.1, 0.9, 0.6, 0.3, 0.0], default_loads(fast=True))
+    model = ProviderCostModel(2.0, 1.0, breach_surcharge=25.0)
+    benchmark(lambda: optimal_slack(analysis, model))
+    emit("fig7_cost", run_cost_analysis(fast=True).rendered)

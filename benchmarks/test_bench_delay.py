@@ -1,0 +1,48 @@
+"""Benchmark: the section-8.5 prediction-delay comparison, measured directly.
+
+Three benchmarks time one prediction of each method at the same operating
+point, making the paper's qualitative ranking (historical ~ hybrid <<
+layered queuing) a measured artefact of this repository.
+"""
+
+import pytest
+
+from repro.experiments import delay
+from repro.experiments import ground_truth as gt
+from repro.experiments.scenario import build_predictors
+from repro.lqn.builder import build_trade_model
+from repro.lqn.solver import LqnSolver, SolverOptions
+from repro.servers.catalogue import APP_SERV_F
+from repro.workload.trade import typical_workload
+
+
+@pytest.fixture(scope="module")
+def predictors(warm_ground_truth):
+    return build_predictors(fast=True)
+
+
+def test_bench_delay_historical(benchmark, predictors):
+    historical, _, _, _ = predictors
+    benchmark(lambda: historical.predict_mrt_ms("AppServS", 700))
+
+
+def test_bench_delay_hybrid(benchmark, predictors):
+    _, _, hybrid, _ = predictors
+    benchmark(lambda: hybrid.predict_mrt_ms("AppServS", 700))
+
+
+def test_bench_delay_layered(benchmark, predictors):
+    _, lqn, _, _ = predictors
+    benchmark(lambda: lqn.predict_mrt_ms("AppServS", 700))
+
+
+def test_bench_delay_layered_tight_criterion(benchmark, warm_ground_truth):
+    parameters = gt.lqn_calibration(fast=True).to_model_parameters()
+    solver = LqnSolver(SolverOptions(convergence_criterion_ms=0.01))
+    model = build_trade_model(APP_SERV_F, typical_workload(1300), parameters)
+    benchmark(lambda: solver.solve(model))
+
+
+def test_bench_delay_report(benchmark, emit, warm_ground_truth):
+    result = benchmark.pedantic(lambda: delay.run(fast=True), rounds=1, iterations=1)
+    emit("delay", result.rendered)

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 2 (response-time predictions, 3 servers).
+
+Kernel timed: one full prediction sweep — all three calibrated methods
+predicting every evaluation point on every architecture (measurements come
+from the memoised ground truth, so the timing isolates prediction cost).
+"""
+
+import pytest
+
+from repro.experiments import fig2
+from repro.experiments.evaluation import evaluate_all_methods
+
+
+@pytest.fixture(scope="module")
+def rendered(warm_ground_truth):
+    return fig2.run(fast=True).rendered
+
+
+def test_bench_fig2(benchmark, emit, rendered):
+    benchmark.pedantic(lambda: evaluate_all_methods(fast=True), rounds=2, iterations=1)
+    emit("fig2", rendered)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3 (accuracy vs calibration-point spacing).
+
+Kernel timed: the whole LQN-backed sweep — dozens of layered solves under
+the paper's 20 ms convergence criterion, relationship-2 refits per x value.
+"""
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3(benchmark, emit, warm_ground_truth):
+    result = benchmark.pedantic(
+        lambda: fig3.run(fast=True), rounds=2, iterations=1
+    )
+    emit("fig3", result.rendered)

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 4 (heterogeneous-workload predictions).
+
+Kernel timed: relationship-3 calibration from LQN anchors plus the
+mix-adjusted historical predictions across both buy fractions.
+"""
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark, emit, warm_ground_truth):
+    result = benchmark.pedantic(lambda: fig4.run(fast=True), rounds=2, iterations=1)
+    emit("fig4", result.rendered)

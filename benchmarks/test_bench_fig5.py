@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 5 (% SLA failures vs load).
+
+Kernel timed: one load sweep of the resource-management algorithm at a
+fixed slack — allocation (Algorithm 1, with its capacity searches over the
+hybrid predictor) plus the ground-truth runtime evaluation, per load point.
+The paper notes each such line "was generated in under one second".
+"""
+
+from repro.experiments import fig5
+from repro.experiments.rm_common import build_rm_setup, default_loads
+
+
+def test_bench_fig5(benchmark, emit, warm_ground_truth):
+    setup = build_rm_setup(fast=True)
+    loads = default_loads(fast=True)
+    benchmark(lambda: setup.sweep(loads, 1.0))
+    emit("fig5", fig5.run(fast=True).rendered)

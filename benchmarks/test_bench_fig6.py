@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 6 (% server usage vs load).
+
+Kernel timed: same sweep as figure 5 at the paper's highest slack level
+(1.1), whose allocations engage the most servers.
+"""
+
+from repro.experiments import fig6
+from repro.experiments.rm_common import build_rm_setup, default_loads
+
+
+def test_bench_fig6(benchmark, emit, warm_ground_truth):
+    setup = build_rm_setup(fast=True)
+    loads = default_loads(fast=True)
+    benchmark(lambda: setup.sweep(loads, 1.1))
+    emit("fig6", fig6.run(fast=True).rendered)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 7 (cost metrics, slack 1.1 -> 0).
+
+Kernel timed: a compact slack analysis (three slack levels over the load
+grid), the unit of work behind each point pair in the figure.
+"""
+
+from repro.experiments import fig7
+from repro.experiments.rm_common import build_rm_setup, default_loads
+
+
+def test_bench_fig7(benchmark, emit, warm_ground_truth):
+    setup = build_rm_setup(fast=True)
+    loads = default_loads(fast=True)
+    benchmark.pedantic(
+        lambda: setup.analysis([1.1, 0.6, 0.0], loads), rounds=3, iterations=1
+    )
+    emit("fig7", fig7.run(fast=True).rendered)

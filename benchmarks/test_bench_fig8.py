@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 8 (trade-off zoom, slack 1.1 -> 0.9).
+
+Kernel timed: the fine-grained slack analysis over the zoomed range.
+"""
+
+from repro.experiments import fig8
+from repro.experiments.rm_common import build_rm_setup, default_loads
+
+
+def test_bench_fig8(benchmark, emit, warm_ground_truth):
+    setup = build_rm_setup(fast=True)
+    loads = default_loads(fast=True)
+    benchmark.pedantic(
+        lambda: setup.analysis([1.1, 1.0, 0.9], loads), rounds=3, iterations=1
+    )
+    emit("fig8", fig8.run(fast=True).rendered)

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate the section-7.1 percentile predictions.
+
+Kernel timed: percentile extrapolation from mean predictions (distribution
+construction + inversion), the per-query cost a percentile-SLA resource
+manager would pay.
+"""
+
+from repro.distribution.percentile import PercentilePredictor
+from repro.experiments import percentiles
+from repro.experiments.scenario import build_predictors
+
+
+def test_bench_percentiles(benchmark, emit, warm_ground_truth):
+    historical, _, _, _ = build_predictors(fast=True)
+    predictor = PercentilePredictor(
+        predict_mean_ms=lambda s, n: historical.predict_mrt_ms(s, n),
+        clients_at_max=historical.clients_at_max,
+        scale_ms=204.1,
+    )
+
+    def kernel():
+        total = 0.0
+        for n in range(100, 2100, 100):
+            total += predictor.predict_percentile_ms("AppServF", n, 0.9)
+        return total
+
+    benchmark(kernel)
+    emit("percentiles", percentiles.run(fast=True).rendered)

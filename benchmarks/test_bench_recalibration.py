@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the recalibration (data-budget) study.
+
+Kernel timed: one quick recalibration — re-fitting the historical model
+from 2 points per equation at n_s = 50 — the operation a workload manager
+performs online (section 8.4 says it must be rapid).
+"""
+
+from repro.experiments import recalibration
+
+
+def test_bench_recalibration(benchmark, emit, warm_ground_truth):
+    benchmark.pedantic(
+        lambda: recalibration._build_model(50, 2, fast=True), rounds=5, iterations=1
+    )
+    emit("recalibration", recalibration.run(fast=True).rendered)

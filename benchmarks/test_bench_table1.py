@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (historical relationship parameters).
+
+Kernel timed: the full historical-model calibration from stored data points
+(relationship 1 fits on both established servers, relationship 2 scaling,
+new-server extrapolation) — the recalibration cost section 8.4 cares about.
+"""
+
+from repro.experiments import table1
+from repro.experiments.scenario import build_historical_model
+
+
+def test_bench_table1(benchmark, emit, warm_ground_truth):
+    benchmark(lambda: build_historical_model(fast=True, with_mix=False))
+    emit("table1", table1.run(fast=True).rendered)

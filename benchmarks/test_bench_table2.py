@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 2 (layered queuing processing times).
+
+Kernel timed: the offline per-request-type calibration procedure of section
+5 (two dedicated simulated runs plus the utilisation/throughput arithmetic).
+"""
+
+from repro.experiments import table2
+from repro.lqn.calibration import calibrate_from_simulator
+from repro.servers.catalogue import APP_SERV_F
+
+
+def test_bench_table2(benchmark, emit, warm_ground_truth):
+    benchmark.pedantic(
+        lambda: calibrate_from_simulator(
+            APP_SERV_F, clients_per_type=200, duration_s=20.0, warmup_s=5.0, seed=9
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    emit("table2", table2.run(fast=True).rendered)

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Session caching: what each method can and cannot model (section 7.2).
+
+When the application server's memory caches per-client sessions, a cache
+miss costs an extra database call — and the miss probability depends on the
+model's own outputs, which stock layered queuing solvers cannot express.
+This script:
+
+1. measures the effect on the simulated testbed at several cache sizes;
+2. models it with the historical method (cache size as a recorded variable);
+3. demonstrates the layered model's circular dependency;
+4. closes the loop with the Che-approximation fixed point (the extension
+   the paper calls non-trivial) and checks it against the measurements.
+
+Run:  python examples/caching_study.py
+"""
+
+from repro.caching.analysis import demonstrate_lqn_circularity, solve_lqn_with_cache
+from repro.caching.historical_cache import CacheAwareHistoricalModel, CacheObservation
+from repro.experiments import ground_truth as gt
+from repro.servers import APP_SERV_S
+from repro.simulation import SimulationConfig, simulate_deployment
+from repro.util.tables import format_table
+from repro.workload import BROWSE_CLASS, typical_workload
+
+N_CLIENTS = 400
+
+
+def main() -> None:
+    workload = typical_workload(N_CLIENTS)
+    working_set = N_CLIENTS * BROWSE_CLASS.mean_session_bytes
+    config = SimulationConfig(duration_s=30.0, warmup_s=8.0, seed=23)
+
+    print(f"Working set: {working_set / 1024:.0f} KiB of session data")
+    print("Measuring the indirect (cache-using) design at several cache sizes...")
+    baseline = simulate_deployment(
+        APP_SERV_S,
+        workload,
+        config.with_overrides(enable_cache=True, cache_bytes=4 * working_set),
+    )
+    rows = []
+    cache_model = CacheAwareHistoricalModel()
+    for frac in (0.25, 0.5, 0.75, 1.5):
+        result = simulate_deployment(
+            APP_SERV_S,
+            workload,
+            config.with_overrides(enable_cache=True, cache_bytes=int(frac * working_set)),
+        )
+        rows.append((f"{frac:.2f}x", result.cache_miss_rate, result.mean_response_ms))
+        cache_model.add_observation(
+            CacheObservation(
+                cache_fraction=frac,
+                miss_rate=min(1.0, result.cache_miss_rate),
+                mean_response_ms=result.mean_response_ms,
+                baseline_response_ms=baseline.mean_response_ms,
+            )
+        )
+    print(format_table(["cache size", "miss rate", "mean RT (ms)"], rows))
+
+    print("\n1) Historical method: cache size as a recorded variable")
+    cache_model.calibrate()
+    predicted = cache_model.predict_mrt_ms(baseline.mean_response_ms, 0.6)
+    actual = simulate_deployment(
+        APP_SERV_S,
+        workload,
+        config.with_overrides(enable_cache=True, cache_bytes=int(0.6 * working_set)),
+    ).mean_response_ms
+    print(f"   predicted RT at an unseen 0.6x cache: {predicted:.1f} ms (measured {actual:.1f} ms)")
+
+    print("\n2) Layered queuing: the circular dependency")
+    parameters = gt.lqn_calibration(fast=True).to_model_parameters()
+    capacity = int(0.5 * working_set)
+    report = demonstrate_lqn_circularity(APP_SERV_S, workload, parameters, capacity)
+    for step in report.dependency_chain:
+        print(f"   <- {step}")
+    print(
+        f"   assuming zero misses is inconsistent by "
+        f"{report.inconsistency:.2f} in miss probability"
+    )
+
+    print("\n3) Closing the loop (Che-approximation fixed point)")
+    result = solve_lqn_with_cache(APP_SERV_S, workload, parameters, capacity)
+    measured = simulate_deployment(
+        APP_SERV_S, workload, config.with_overrides(enable_cache=True, cache_bytes=capacity)
+    )
+    print(
+        f"   converged in {result.outer_iterations} outer iterations "
+        f"({result.lqn_solves} layered solves)"
+    )
+    print(
+        f"   miss rate: fixed point {result.miss_rates[BROWSE_CLASS.name]:.3f} "
+        f"vs measured {measured.cache_miss_rate:.3f}"
+    )
+    print(
+        f"   mean RT:   fixed point {result.solution.response_ms[BROWSE_CLASS.name]:.1f} ms "
+        f"vs measured {measured.mean_response_ms:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Percentile SLAs from mean predictions (section 7.1).
+
+SLAs are often of the form "90 % of requests within r_max".  The layered
+queuing and hybrid methods only predict means; this example extrapolates
+full response-time distributions from those means — exponential below
+saturation, double-exponential above — and answers percentile questions,
+checking them against the simulated testbed.
+
+Run:  python examples/percentile_sla.py
+"""
+
+from repro.distribution.percentile import PercentilePredictor
+from repro.distribution.rtdist import calibrate_scale
+from repro.experiments.scenario import build_predictors
+from repro.servers import APP_SERV_F, APP_SERV_S
+from repro.simulation import SimulationConfig, simulate_deployment
+from repro.util.tables import format_table
+from repro.workload import typical_workload
+
+
+def main() -> None:
+    print("Calibrating predictors...")
+    historical, _, hybrid, _ = build_predictors(fast=True)
+
+    # Calibrate the double-exponential scale b once, on the established
+    # server past saturation (the paper's 204.1 analogue).
+    n_cal = int(1.3 * historical.clients_at_max(APP_SERV_F.name))
+    config = SimulationConfig(duration_s=30.0, warmup_s=8.0, seed=5)
+    run = simulate_deployment(APP_SERV_F, typical_workload(n_cal), config)
+    scale_b = calibrate_scale(run.overall_stats.as_array(), run.mean_response_ms)
+    print(f"calibrated double-exponential scale b = {scale_b:.1f} ms")
+
+    percentile = PercentilePredictor(
+        predict_mean_ms=lambda s, n: hybrid.predict_mrt_ms(s, n),
+        clients_at_max=hybrid.clients_at_max,
+        scale_ms=scale_b,
+    )
+
+    server = APP_SERV_S.name
+    n_star = hybrid.clients_at_max(server)
+    rows = []
+    for frac in (0.35, 0.6, 1.3, 1.6):
+        n = int(frac * n_star)
+        predicted_p90 = percentile.predict_percentile_ms(server, n, 0.90)
+        measured = simulate_deployment(APP_SERV_S, typical_workload(n), config)
+        measured_p90 = measured.percentile_ms(0.90)
+        regime = "double-exp" if percentile.is_saturated(server, n) else "exponential"
+        rows.append((n, regime, predicted_p90, measured_p90))
+
+    print()
+    print(
+        format_table(
+            ["clients", "regime", "predicted p90 (ms)", "measured p90 (ms)"],
+            rows,
+            title=f"90th-percentile predictions for the new {server} (hybrid means + extrapolation)",
+            precision=1,
+        )
+    )
+
+    # An SLA compliance question: what fraction beats 800 ms at 1.3x load?
+    n = int(1.3 * n_star)
+    fraction = percentile.predict_fraction_within(server, n, 800.0)
+    print(
+        f"\nPredicted fraction of requests within 800 ms at {n} clients: "
+        f"{100 * fraction:.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

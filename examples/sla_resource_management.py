@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""SLA-driven resource management with slack tuning (section 9).
+
+Reproduces the paper's service-provider scenario end to end:
+
+* a 16-server pool (8 new AppServS, 4 AppServF, 4 AppServVF);
+* three service classes — 10 % buy (150 ms goal), 45 % high-priority browse
+  (300 ms), 45 % low-priority browse (600 ms);
+* Algorithm 1 allocates servers using the *hybrid* model's predictions,
+  while the more accurate *historical* model plays the real system;
+* the slack parameter compensates for predictive inaccuracy: the script
+  sweeps it and reports the % SLA failures / % server usage trade-off.
+
+Run:  python examples/sla_resource_management.py
+"""
+
+from repro.experiments.rm_common import (
+    build_rm_setup,
+    default_loads,
+    weighted_prediction_accuracy,
+)
+from repro.experiments.scenario import rm_workload_for
+from repro.resource_manager.allocation import allocate
+from repro.util.tables import format_series, format_table
+
+
+def main() -> None:
+    print("Calibrating the hybrid (allocator) and historical (ground-truth) models...")
+    setup = build_rm_setup(fast=True)
+    loads = default_loads(fast=True)
+
+    # One concrete allocation, to show what Algorithm 1 actually decides.
+    total = 8000
+    classes = rm_workload_for(total)
+    allocation = allocate(classes, setup.servers, setup.predictor, slack=1.1)
+    rows = [
+        (server, *(alloc.get(c.name, 0) for c in classes))
+        for server, alloc in sorted(allocation.per_server.items())
+    ]
+    print()
+    print(
+        format_table(
+            ["server", *(c.name for c in classes)],
+            rows,
+            title=f"Algorithm 1 placement for {total} clients at slack 1.1",
+        )
+    )
+    print(
+        f"predictions evaluated during allocation: {allocation.predictions_made}"
+    )
+
+    # The slack trade-off (figures 7/8 in miniature).
+    analysis = setup.analysis([1.1, 1.0, 0.9, 0.6, 0.3, 0.0], loads)
+    rows = analysis.tradeoff_series()
+    print()
+    print(
+        format_series(
+            "slack",
+            [r[0] for r in rows],
+            {
+                "avg % SLA failures": [r[1] for r in rows],
+                "avg % server usage saving": [r[2] for r in rows],
+            },
+            title="Balancing SLA-failure cost against server-usage cost",
+            precision=2,
+        )
+    )
+    accuracy = weighted_prediction_accuracy(setup)
+    print(
+        f"\nSU_max = {analysis.su_max_pct:.1f}% at slack "
+        f"{analysis.min_zero_failure_slack}; weighted prediction accuracy "
+        f"y = {100 * accuracy:.1f}% (uniform-error slack would be 1/y = "
+        f"{1 / accuracy:.3f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Trace-driven load testing: generate, persist, and replay a request log.
+
+Instead of closed client populations, many performance studies start from a
+*trace* — a timestamped request log captured in production.  This example:
+
+1. synthesises a 60 s browse trace at 120 req/s and saves it to CSV;
+2. replays it against two simulated architectures (established AppServF and
+   the new AppServS) — the same trace, so the comparison is paired;
+3. checks the replay against the layered model's open-class prediction at
+   the trace's rate.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments import ground_truth as gt
+from repro.lqn.builder import build_trade_model
+from repro.lqn.solver import LqnSolver
+from repro.servers import APP_SERV_F, APP_SERV_S
+from repro.servers.catalogue import DB_SERVER
+from repro.simulation import MetricsCollector, Simulator
+from repro.simulation.appserver import AppServerSim
+from repro.simulation.database import DatabaseServerSim
+from repro.util.errors import ValidationError
+from repro.util.rng import RngStreams
+from repro.util.tables import format_table
+from repro.workload import browse_class, generate_trace, load_trace_csv, save_trace_csv
+
+RATE = 120.0
+DURATION_S = 60.0
+
+
+def replay(trace, arch):
+    """Replay a trace against one architecture; return (mean ms, p90 ms)."""
+    from repro.workload.generators import TraceReplaySource
+
+    sim = Simulator()
+    streams = RngStreams(11)
+    database = DatabaseServerSim(sim, DB_SERVER)
+    server = AppServerSim(sim, arch, database, streams.get("svc"))
+    metrics = MetricsCollector()
+    metrics.start_measuring(0.0)
+    source = TraceReplaySource(
+        sim, trace, server, metrics, network_latency_ms=5.0, rng=streams.get("net")
+    )
+    source.start()
+    sim.run_until(DURATION_S * 1000.0 + 60_000.0)  # drain the tail
+    stats = metrics.for_class("trace")
+    return stats.mean, stats.percentile(0.9)
+
+
+def main() -> None:
+    sc = browse_class()
+    trace = generate_trace(sc, RATE, DURATION_S, seed=42)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_trace_csv(trace, Path(tmp) / "browse.csv")
+        print(f"generated {len(trace)} requests at ~{RATE:.0f} req/s -> {path.name}")
+        trace = load_trace_csv(path)  # same as what a tool would re-load
+
+    rows = []
+    for arch in (APP_SERV_F, APP_SERV_S):
+        mean, p90 = replay(trace, arch)
+        rows.append((arch.name, mean, p90))
+    print()
+    print(
+        format_table(
+            ["architecture", "replayed mean RT (ms)", "replayed p90 (ms)"],
+            rows,
+            title="Same trace, two architectures",
+            precision=1,
+        )
+    )
+
+    print("\nCross-check: the layered model's open-class prediction at 120 req/s")
+    parameters = gt.lqn_calibration(fast=True).to_model_parameters()
+    for arch in (APP_SERV_F, APP_SERV_S):
+        try:
+            solution = LqnSolver().solve(
+                build_trade_model(arch, {}, parameters, open_workload={sc: RATE})
+            )
+            print(
+                f"  {arch.name}: predicted {solution.response_ms['open_browse']:.1f} ms "
+                "(replay includes ~10 ms network RTT the model omits)"
+            )
+        except ValidationError as exc:
+            # AppServS tops out at ~86 req/s: a 120 req/s trace has no steady
+            # state there — which the replay's climbing response times showed.
+            print(f"  {arch.name}: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro — performance prediction for distributed enterprise applications.
+
+A from-scratch reproduction of Bacigalupo, Jarvis, He & Nudd, *"An
+Investigation into the Application of Different Performance Prediction
+Techniques to e-Commerce Applications"* (IPDPS 2004 PMEO workshop; extended
+as *"…Performance Prediction Methods to Distributed Enterprise
+Applications"*).
+
+The library provides:
+
+* a discrete-event simulator of the paper's WebSphere/DB2 *Trade* testbed
+  (:mod:`repro.simulation`, :mod:`repro.workload`, :mod:`repro.servers`);
+* the three prediction methods — historical/HYDRA (:mod:`repro.historical`),
+  layered queuing with a from-scratch solver (:mod:`repro.lqn`), and the
+  hybrid combination (:mod:`repro.hybrid`) — behind one predictor interface
+  (:mod:`repro.prediction`);
+* response-time distribution extrapolation for percentile SLAs
+  (:mod:`repro.distribution`) and cache-effect modelling
+  (:mod:`repro.caching`);
+* the SLA-driven, slack-tuned resource manager (:mod:`repro.resource_manager`);
+* one experiment driver per table/figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.servers import APP_SERV_F, APP_SERV_S, APP_SERV_VF
+    from repro.lqn import calibrate_from_simulator
+    from repro.prediction import HybridPredictor
+
+    calibration = calibrate_from_simulator(APP_SERV_F)
+    predictor = HybridPredictor.from_parameters(
+        calibration.to_model_parameters(),
+        [APP_SERV_S, APP_SERV_F, APP_SERV_VF],
+    )
+    predictor.predict_mrt_ms("AppServS", 500)
+"""
+
+from repro.historical import HistoricalDataStore, HistoricalModel
+from repro.hybrid import AdvancedHybridModel, BasicHybridModel
+from repro.lqn import (
+    LqnCalibration,
+    LqnModel,
+    LqnSolver,
+    SolverOptions,
+    build_trade_model,
+    calibrate_from_simulator,
+)
+from repro.prediction import (
+    HistoricalPredictor,
+    HybridPredictor,
+    LqnPredictor,
+    Predictor,
+)
+from repro.servers import APP_SERV_F, APP_SERV_S, APP_SERV_VF, ServerArchitecture
+from repro.simulation import SimulationConfig, SimulationResult, simulate_deployment
+from repro.workload import ServiceClass, browse_class, buy_class, mixed_workload, typical_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HistoricalDataStore",
+    "HistoricalModel",
+    "AdvancedHybridModel",
+    "BasicHybridModel",
+    "LqnCalibration",
+    "LqnModel",
+    "LqnSolver",
+    "SolverOptions",
+    "build_trade_model",
+    "calibrate_from_simulator",
+    "HistoricalPredictor",
+    "HybridPredictor",
+    "LqnPredictor",
+    "Predictor",
+    "APP_SERV_F",
+    "APP_SERV_S",
+    "APP_SERV_VF",
+    "ServerArchitecture",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate_deployment",
+    "ServiceClass",
+    "browse_class",
+    "buy_class",
+    "mixed_workload",
+    "typical_workload",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Modelling application-server session caching (section 7.2 of the paper).
+
+When the workload does not fit in the application server's main memory, the
+memory acts as an LRU cache over per-client session data in the database; a
+cache miss costs an extra database call.  The paper finds that:
+
+* the **historical method** can model the effect by recording the cache
+  (memory) size as a variable and fitting its relationships
+  (:mod:`repro.caching.historical_cache`);
+* the **layered queuing method cannot**, because the number of database
+  calls per service class depends on the cache-miss probability, which
+  depends on the arrival-rate distributions, which — for closed clients —
+  depend on the model's own solution: "the layered queuing method does not
+  support parameters specified in terms of metrics that the model predicts"
+  (:func:`repro.caching.analysis.demonstrate_lqn_circularity`).
+
+As an extension beyond the paper, :mod:`repro.caching.analysis` also closes
+the loop externally: an analytic LRU miss model (Che's characteristic-time
+approximation, :mod:`repro.caching.lru_model`) is iterated with the layered
+solver to a joint fixed point — exactly the "non-trivial extension of the
+numerical solution technique" the paper says LQNS lacks.
+"""
+
+from repro.caching.lru_model import CachePopulation, che_characteristic_time, miss_rates
+from repro.caching.historical_cache import CacheAwareHistoricalModel, CacheObservation
+from repro.caching.analysis import (
+    CacheFixedPointResult,
+    demonstrate_lqn_circularity,
+    solve_lqn_with_cache,
+)
+
+__all__ = [
+    "CachePopulation",
+    "che_characteristic_time",
+    "miss_rates",
+    "CacheAwareHistoricalModel",
+    "CacheObservation",
+    "CacheFixedPointResult",
+    "demonstrate_lqn_circularity",
+    "solve_lqn_with_cache",
+]

@@ -1,0 +1,105 @@
+"""Modelling the cache-size variable with the historical method.
+
+Section 7.2: "The effect of an architecture's cache (i.e. main memory) size
+can be modelled using the historical method by recording this as a variable
+and determining how this variable effects the other variables/relationships
+as before."
+
+Concretely, this module records observations of runs at different cache
+sizes and fits two empirical relationships:
+
+* cache size (relative to the workload's session working set) → miss rate,
+  interpolated from observations;
+* miss rate → mean-response-time inflation over the uncached baseline,
+  fitted as a line through the origin (zero misses inflate nothing).
+
+A new architecture's memory size is then just another input: predict the
+miss rate its memory implies, inflate the baseline response-time prediction
+accordingly.  No solver extension is needed — which is the paper's point of
+contrast with the layered queuing method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.historical.fitting import fit_linear_through_origin
+from repro.util.errors import CalibrationError
+from repro.util.validation import check_fraction, check_non_negative, check_positive
+
+__all__ = ["CacheObservation", "CacheAwareHistoricalModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheObservation:
+    """One measured run at a known cache size."""
+
+    cache_fraction: float  # cache bytes / session working-set bytes
+    miss_rate: float
+    mean_response_ms: float
+    baseline_response_ms: float  # same load with an ample cache
+
+    def __post_init__(self) -> None:
+        check_positive(self.cache_fraction, "cache_fraction")
+        check_fraction(self.miss_rate, "miss_rate")
+        check_positive(self.mean_response_ms, "mean_response_ms")
+        check_positive(self.baseline_response_ms, "baseline_response_ms")
+
+    @property
+    def inflation(self) -> float:
+        """Fractional response-time increase over the uncached baseline."""
+        return self.mean_response_ms / self.baseline_response_ms - 1.0
+
+
+@dataclass
+class CacheAwareHistoricalModel:
+    """The historical method extended with the cache-size variable."""
+
+    observations: list[CacheObservation] = field(default_factory=list)
+    inflation_per_miss: float = float("nan")
+
+    def add_observation(self, observation: CacheObservation) -> None:
+        """Record one run; call :meth:`calibrate` once enough are stored."""
+        self.observations.append(observation)
+
+    def calibrate(self) -> None:
+        """Fit the miss-rate → inflation trend from the observations."""
+        with_misses = [o for o in self.observations if o.miss_rate > 0]
+        if len(with_misses) < 1:
+            raise CalibrationError(
+                "need at least one observation with a non-zero miss rate"
+            )
+        fit = fit_linear_through_origin(
+            [o.miss_rate for o in with_misses],
+            [o.inflation for o in with_misses],
+        )
+        self.inflation_per_miss = fit.params[0]
+
+    def predict_miss_rate(self, cache_fraction: float) -> float:
+        """Interpolated miss rate for a cache of this relative size.
+
+        Clamps to the observed range; a cache at least as large as the
+        working set misses nothing.
+        """
+        check_positive(cache_fraction, "cache_fraction")
+        if cache_fraction >= 1.0:
+            return 0.0
+        if not self.observations:
+            raise CalibrationError("no observations recorded")
+        obs = sorted(self.observations, key=lambda o: o.cache_fraction)
+        xs = np.array([o.cache_fraction for o in obs])
+        ys = np.array([o.miss_rate for o in obs])
+        return float(np.interp(cache_fraction, xs, ys))
+
+    def predict_mrt_ms(
+        self, baseline_prediction_ms: float, cache_fraction: float
+    ) -> float:
+        """Inflate a cache-less mean-response prediction for a memory size."""
+        check_positive(baseline_prediction_ms, "baseline_prediction_ms")
+        if self.inflation_per_miss != self.inflation_per_miss:
+            raise CalibrationError("model not calibrated; call calibrate() first")
+        miss = self.predict_miss_rate(cache_fraction)
+        check_non_negative(miss, "predicted miss rate")
+        return baseline_prediction_ms * (1.0 + self.inflation_per_miss * miss)

@@ -1,0 +1,30 @@
+"""Response-time distribution predictions (section 7.1 of the paper).
+
+SLAs are often percentile-based ("p % of requests must respond within
+r_max"), but the layered queuing and hybrid methods predict only means.  The
+paper extrapolates full distributions from mean predictions using two
+regimes that are constant (relative to the mean) across architectures:
+
+* before max throughput (CPU < 100 %): exponential, equation 6;
+* after max throughput: double-exponential (Laplace), equation 7, located at
+  the predicted mean with a scale parameter calibrated once (204.1 in the
+  paper's setup).
+"""
+
+from repro.distribution.rtdist import (
+    DoubleExponentialResponse,
+    ExponentialResponse,
+    ResponseTimeDistribution,
+    calibrate_scale,
+    distribution_for,
+)
+from repro.distribution.percentile import PercentilePredictor
+
+__all__ = [
+    "ResponseTimeDistribution",
+    "ExponentialResponse",
+    "DoubleExponentialResponse",
+    "calibrate_scale",
+    "distribution_for",
+    "PercentilePredictor",
+]

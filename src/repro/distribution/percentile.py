@@ -1,0 +1,70 @@
+"""Percentile SLA predictions extrapolated from mean predictions.
+
+Combines any mean-response-time predictor with the section-7.1 distribution
+regimes: given a server, load and percentile ``p``, predict the response
+time that ``p`` of requests will beat.  This is how the layered queuing and
+hybrid methods — which can only predict means — answer percentile SLA
+questions (and how the paper's 90th-percentile comparison is produced).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.distribution.rtdist import distribution_for
+from repro.util.validation import check_positive, require
+
+__all__ = ["PercentilePredictor"]
+
+
+@dataclass
+class PercentilePredictor:
+    """Wraps mean-prediction and saturation oracles into percentile queries.
+
+    Parameters
+    ----------
+    predict_mean_ms:
+        ``(server, n_clients) -> predicted mean response time`` from any of
+        the three methods.
+    clients_at_max:
+        ``server -> max-throughput load`` (clients at 100 % CPU), deciding
+        which distribution regime applies.
+    scale_ms:
+        The calibrated double-exponential scale *b* (the paper's 204.1).
+    """
+
+    predict_mean_ms: Callable[[str, float], float]
+    clients_at_max: Callable[[str], float]
+    scale_ms: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.scale_ms, "scale_ms")
+
+    def is_saturated(self, server: str, n_clients: float) -> bool:
+        """Whether the load is past the server's max-throughput point."""
+        return n_clients >= self.clients_at_max(server)
+
+    def predict_percentile_ms(self, server: str, n_clients: float, p: float) -> float:
+        """Predicted ``p``-percentile response time (ms)."""
+        require(0.0 < p < 1.0, "p must be in (0, 1)")
+        mean = self.predict_mean_ms(server, n_clients)
+        dist = distribution_for(
+            mean,
+            saturated=self.is_saturated(server, n_clients),
+            scale_ms=self.scale_ms,
+        )
+        return dist.percentile(p)
+
+    def predict_fraction_within(
+        self, server: str, n_clients: float, r_max_ms: float
+    ) -> float:
+        """Predicted fraction of requests within an SLA's ``r_max``."""
+        check_positive(r_max_ms, "r_max_ms")
+        mean = self.predict_mean_ms(server, n_clients)
+        dist = distribution_for(
+            mean,
+            saturated=self.is_saturated(server, n_clients),
+            scale_ms=self.scale_ms,
+        )
+        return dist.fraction_within(r_max_ms)

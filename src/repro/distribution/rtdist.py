@@ -1,0 +1,139 @@
+"""The two response-time distribution regimes of section 7.1.
+
+After max throughput (100 % application-server CPU utilisation) the dominant
+response-time component is application-server queueing, which changes the
+distribution's shape; the paper approximates:
+
+* **before** saturation — exponential around the predicted mean ``r_p``
+  (equation 6)::
+
+      P(X <= x) = 1 - exp(-x / r_p)
+
+* **after** saturation — double exponential (Laplace) located at ``a = r_p``
+  with scale ``b`` (equation 7), ``b`` calibrated from measured data and
+  found "constant across servers with heterogeneous processing speeds"
+  (204.1 in the paper's setup)::
+
+      P(X <= x) = 1 - 0.5·exp(-(x - a)/b)   for x >= r_p
+      P(X <= x) = 0.5·exp((x - a)/b)        for x <  r_p
+
+Both distributions are fully determined by a *mean response-time
+prediction*, which is what lets percentile metrics be extrapolated from any
+of the three methods' mean predictions.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import CalibrationError
+from repro.util.validation import check_positive, require
+
+__all__ = [
+    "ResponseTimeDistribution",
+    "ExponentialResponse",
+    "DoubleExponentialResponse",
+    "calibrate_scale",
+    "distribution_for",
+]
+
+
+class ResponseTimeDistribution(ABC):
+    """A predicted response-time distribution."""
+
+    @abstractmethod
+    def cdf(self, x_ms: float) -> float:
+        """P(response <= ``x_ms``)."""
+
+    @abstractmethod
+    def percentile(self, p: float) -> float:
+        """The response time not exceeded by fraction ``p`` of requests."""
+
+    def fraction_within(self, r_max_ms: float) -> float:
+        """Fraction of requests meeting a percentile SLA's ``r_max``."""
+        return self.cdf(r_max_ms)
+
+
+@dataclass(frozen=True, slots=True)
+class ExponentialResponse(ResponseTimeDistribution):
+    """Equation 6: exponential response times below saturation."""
+
+    mean_ms: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.mean_ms, "mean_ms")
+
+    def cdf(self, x_ms: float) -> float:
+        if x_ms <= 0:
+            return 0.0
+        return 1.0 - math.exp(-x_ms / self.mean_ms)
+
+    def percentile(self, p: float) -> float:
+        require(0.0 <= p < 1.0, "p must be in [0, 1)")
+        return -self.mean_ms * math.log(1.0 - p)
+
+
+@dataclass(frozen=True, slots=True)
+class DoubleExponentialResponse(ResponseTimeDistribution):
+    """Equation 7: Laplace-distributed response times after saturation.
+
+    ``location_ms`` (the paper's *a*) is set to the predicted mean; ``scale_ms``
+    (the paper's *b*) is the calibrated spread, constant across architectures.
+    """
+
+    location_ms: float
+    scale_ms: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.location_ms, "location_ms")
+        check_positive(self.scale_ms, "scale_ms")
+
+    def cdf(self, x_ms: float) -> float:
+        z = (x_ms - self.location_ms) / self.scale_ms
+        if x_ms >= self.location_ms:
+            return 1.0 - 0.5 * math.exp(-z)
+        return 0.5 * math.exp(z)
+
+    def percentile(self, p: float) -> float:
+        require(0.0 < p < 1.0, "p must be in (0, 1)")
+        if p >= 0.5:
+            return self.location_ms - self.scale_ms * math.log(2.0 * (1.0 - p))
+        return self.location_ms + self.scale_ms * math.log(2.0 * p)
+
+
+def calibrate_scale(samples_ms, location_ms: float) -> float:
+    """Calibrate the double-exponential scale *b* from measured samples.
+
+    The maximum-likelihood estimate of a Laplace scale at a fixed location is
+    the mean absolute deviation from that location.  The paper calibrates
+    *b* once (204.1) and reuses it across architectures.
+    """
+    arr = np.asarray(samples_ms, dtype=float)
+    if arr.size == 0:
+        raise CalibrationError("cannot calibrate a scale from zero samples")
+    check_positive(location_ms, "location_ms")
+    scale = float(np.mean(np.abs(arr - location_ms)))
+    if scale <= 0:
+        raise CalibrationError("degenerate samples: zero spread")
+    return scale
+
+
+def distribution_for(
+    mean_prediction_ms: float,
+    *,
+    saturated: bool,
+    scale_ms: float,
+) -> ResponseTimeDistribution:
+    """The section-7.1 distribution for a mean prediction.
+
+    ``saturated`` selects the regime — callers decide it by comparing the
+    load against the predicted max-throughput load (100 % CPU utilisation).
+    """
+    check_positive(mean_prediction_ms, "mean_prediction_ms")
+    if saturated:
+        return DoubleExponentialResponse(location_ms=mean_prediction_ms, scale_ms=scale_ms)
+    return ExponentialResponse(mean_ms=mean_prediction_ms)

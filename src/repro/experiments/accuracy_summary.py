@@ -1,0 +1,100 @@
+"""Sections 4-6 headline accuracy numbers.
+
+The paper reports, on its testbed:
+
+* historical method: 89.1 % (established) / 83 % (new server) MRT accuracy;
+* layered queuing:   97.8 % / 97.1 % throughput, 68.8 % / 73.4 % MRT;
+* hybrid:            67.1 % / 74.9 % MRT (similar to layered queuing).
+
+This experiment reproduces the comparison on the simulated testbed with the
+paper's accuracy metric (mean of lower- and upper-region accuracies).  The
+shape targets are: historical beats layered queuing on mean response time;
+layered throughput accuracy is very high; hybrid tracks layered accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.evaluation import METHODS, evaluate_all_methods
+from repro.experiments.scenario import ExperimentResult
+from repro.util.tables import format_table
+
+__all__ = ["run"]
+
+_PAPER = {
+    ("historical", "mrt", True): 0.891,
+    ("historical", "mrt", False): 0.830,
+    ("layered_queuing", "mrt", True): 0.688,
+    ("layered_queuing", "mrt", False): 0.734,
+    ("layered_queuing", "tput", True): 0.978,
+    ("layered_queuing", "tput", False): 0.971,
+    ("hybrid", "mrt", True): 0.671,
+    ("hybrid", "mrt", False): 0.749,
+}
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Compute per-method accuracies on established and new servers."""
+    evaluation = evaluate_all_methods(fast=fast)
+
+    rows = []
+    data: dict[str, float] = {}
+    for method in METHODS:
+        for established in (True, False):
+            group = "established" if established else "new"
+            mrt = evaluation.mrt_accuracy(method, established=established)
+            tput = evaluation.throughput_accuracy(method, established=established)
+            data[f"{method}.{group}.mrt"] = mrt
+            data[f"{method}.{group}.tput"] = tput
+            paper_mrt = _PAPER.get((method, "mrt", established))
+            paper_tput = _PAPER.get((method, "tput", established))
+            rows.append(
+                (
+                    method,
+                    group,
+                    f"{100 * mrt:.1f}%",
+                    "-" if paper_mrt is None else f"{100 * paper_mrt:.1f}%",
+                    f"{100 * tput:.1f}%",
+                    "-" if paper_tput is None else f"{100 * paper_tput:.1f}%",
+                )
+            )
+
+    table = format_table(
+        [
+            "method",
+            "servers",
+            "MRT accuracy (ours)",
+            "MRT (paper)",
+            "tput accuracy (ours)",
+            "tput (paper)",
+        ],
+        rows,
+        title="Headline predictive accuracies (paper metric: mean of lower/upper regions)",
+    )
+
+    shape_checks = [
+        (
+            "historical > layered queuing on MRT (both groups)",
+            data["historical.established.mrt"] > data["layered_queuing.established.mrt"]
+            and data["historical.new.mrt"] > data["layered_queuing.new.mrt"],
+        ),
+        (
+            "layered throughput accuracy > 90%",
+            data["layered_queuing.established.tput"] > 0.9
+            and data["layered_queuing.new.tput"] > 0.9,
+        ),
+        (
+            "hybrid within 10 points of layered queuing MRT",
+            abs(data["hybrid.established.mrt"] - data["layered_queuing.established.mrt"])
+            < 0.10,
+        ),
+    ]
+    checks = "\n".join(
+        f"[{'ok' if passed else 'MISS'}] {label}" for label, passed in shape_checks
+    )
+
+    return ExperimentResult(
+        experiment_id="accuracy",
+        title="Headline accuracy comparison",
+        rendered=table + "\n\nShape checks vs the paper:\n" + checks,
+        data=data,
+    )

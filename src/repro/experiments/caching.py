@@ -1,0 +1,150 @@
+"""Section 7.2 — modelling the effect of session caching.
+
+Three parts:
+
+1. **Measured effect** — simulate the indirect (cache-using) design at
+   several cache sizes; smaller caches miss more and each miss costs an
+   extra database call, inflating response times.
+2. **Historical method models it** — record the cache size as a variable,
+   fit the miss-rate/inflation relationships, and predict an unseen memory
+   size.
+3. **Layered queuing cannot (without extension)** — the one-shot solve is
+   self-inconsistent (the circularity report); the outer fixed point of
+   :mod:`repro.caching.analysis` closes it, which is the extension the
+   paper deems non-trivial for LQNS.
+"""
+
+from __future__ import annotations
+
+from repro.caching.analysis import demonstrate_lqn_circularity, solve_lqn_with_cache
+from repro.caching.historical_cache import CacheAwareHistoricalModel, CacheObservation
+from repro.experiments import ground_truth as gt
+from repro.experiments.scenario import ExperimentResult, SOLVER_OPTIONS
+from repro.prediction.accuracy import accuracy
+from repro.servers.catalogue import APP_SERV_S
+from repro.util.tables import format_kv, format_table
+from repro.workload.trade import BROWSE_CLASS, typical_workload
+
+__all__ = ["run"]
+
+# 450 browse clients put AppServS at ~73% of its max-throughput load: busy
+# enough that extra database calls are visible, but clear of the saturation
+# knee where run-to-run response-time noise would swamp the caching effect.
+_N_CLIENTS = 450
+_CACHE_FRACTIONS = (0.25, 0.5, 0.75, 1.5)
+_PREDICT_FRACTION = 0.6
+
+
+def _working_set_bytes(n_clients: int) -> int:
+    return n_clients * BROWSE_CLASS.mean_session_bytes
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Measure, model, and close the loop on session caching."""
+    n = _N_CLIENTS if not fast else 400
+    server = APP_SERV_S.name
+    working_set = _working_set_bytes(n)
+
+    # 1. Measured effect across cache sizes.
+    rows = []
+    observations: list[CacheObservation] = []
+    baseline = gt.measured_point(
+        server,
+        n,
+        fast=fast,
+        enable_cache=True,
+        cache_bytes=int(4 * working_set),
+    )
+    fractions = _CACHE_FRACTIONS[::2] if fast else _CACHE_FRACTIONS
+    for frac in fractions:
+        result = gt.measured_point(
+            server,
+            n,
+            fast=fast,
+            enable_cache=True,
+            cache_bytes=max(4096, int(frac * working_set)),
+        )
+        rows.append(
+            (
+                f"{frac:.2f}x working set",
+                result.cache_miss_rate,
+                result.mean_response_ms,
+                result.mean_response_ms / baseline.mean_response_ms,
+            )
+        )
+        observations.append(
+            CacheObservation(
+                cache_fraction=frac,
+                miss_rate=min(1.0, max(0.0, result.cache_miss_rate or 0.0)),
+                mean_response_ms=result.mean_response_ms,
+                baseline_response_ms=baseline.mean_response_ms,
+            )
+        )
+    measured_table = format_table(
+        ["cache size", "miss rate", "mean RT (ms)", "RT inflation"],
+        rows,
+        title=f"Measured caching effect ({server}, {n} browse clients)",
+    )
+
+    # 2. Historical method: calibrate and predict an unseen cache size.
+    cache_model = CacheAwareHistoricalModel(observations=list(observations))
+    cache_model.calibrate()
+    target = gt.measured_point(
+        server,
+        n,
+        fast=fast,
+        enable_cache=True,
+        cache_bytes=max(4096, int(_PREDICT_FRACTION * working_set)),
+    )
+    predicted = cache_model.predict_mrt_ms(
+        baseline.mean_response_ms, _PREDICT_FRACTION
+    )
+    hist_acc = accuracy(predicted, target.mean_response_ms)
+
+    # 3. Layered queuing: circularity, then the fixed-point extension.
+    parameters = gt.lqn_calibration(fast=fast).to_model_parameters()
+    workload = typical_workload(n)
+    capacity = max(4096, int(0.5 * working_set))
+    circularity = demonstrate_lqn_circularity(
+        APP_SERV_S, workload, parameters, capacity, solver_options=SOLVER_OPTIONS
+    )
+    fixed_point = solve_lqn_with_cache(
+        APP_SERV_S, workload, parameters, capacity, solver_options=SOLVER_OPTIONS
+    )
+    measured_half = gt.measured_point(
+        server, n, fast=fast, enable_cache=True, cache_bytes=capacity
+    )
+    fp_miss = fixed_point.miss_rates[BROWSE_CLASS.name]
+    fp_acc = accuracy(
+        fixed_point.solution.response_ms[BROWSE_CLASS.name],
+        measured_half.mean_response_ms,
+    )
+
+    summary = format_kv(
+        {
+            "historical cache prediction (ms)": predicted,
+            f"measured at {_PREDICT_FRACTION}x working set (ms)": target.mean_response_ms,
+            "historical cache-model accuracy": f"{100 * hist_acc:.1f}%",
+            "one-shot LQN miss-rate inconsistency": circularity.inconsistency,
+            "circular dependency": " <- ".join(circularity.dependency_chain),
+            "fixed-point miss rate @0.5x": fp_miss,
+            "measured miss rate @0.5x": measured_half.cache_miss_rate,
+            "fixed-point outer iterations": fixed_point.outer_iterations,
+            "fixed-point RT accuracy @0.5x": f"{100 * fp_acc:.1f}%",
+        },
+        title="Section 7.2: modelling results",
+    )
+
+    return ExperimentResult(
+        experiment_id="caching",
+        title="Section 7.2: caching study",
+        rendered=measured_table + "\n\n" + summary,
+        data={
+            "observations": rows,
+            "historical_accuracy": hist_acc,
+            "inconsistency": circularity.inconsistency,
+            "fixed_point_miss": fp_miss,
+            "measured_miss": measured_half.cache_miss_rate,
+            "fixed_point_accuracy": fp_acc,
+        },
+    )

@@ -1,0 +1,114 @@
+"""Section 8.5 — the delay when evaluating a prediction.
+
+Measures, on this machine:
+
+* the historical method's per-prediction delay (closed-form, ~microseconds);
+* the layered method's per-solve delay and how it grows as the convergence
+  criterion tightens (the paper's 20 ms criterion / 3 s solve trade-off);
+* the hybrid method's one-off start-up delay (the paper's 11 s analogue)
+  and its per-prediction delay afterwards;
+* the cost of a *capacity* query (max clients under an SLA goal): closed
+  form for historical/hybrid versus a multi-solve search for the layered
+  method (section 8.2).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import ground_truth as gt
+from repro.experiments.scenario import ExperimentResult, build_predictors
+from repro.hybrid.model import AdvancedHybridModel
+from repro.lqn.builder import build_trade_model
+from repro.lqn.solver import LqnSolver, SolverOptions
+from repro.servers.catalogue import ALL_APP_SERVERS, APP_SERV_F, APP_SERV_S
+from repro.util.tables import format_kv, format_table
+from repro.workload.trade import typical_workload
+
+__all__ = ["run"]
+
+
+def _time_predictions(fn, calls: int) -> float:
+    start = time.perf_counter()
+    for i in range(calls):
+        fn(400 + i % 700)
+    return (time.perf_counter() - start) / calls
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Measure all the section-8.5 delays."""
+    historical, lqn, hybrid, calibration = build_predictors(fast=fast)
+    calls = 200 if fast else 2000
+
+    hist_delay = _time_predictions(
+        lambda n: historical.predict_mrt_ms(APP_SERV_S.name, n), calls
+    )
+    hybrid_delay = _time_predictions(
+        lambda n: hybrid.predict_mrt_ms(APP_SERV_S.name, n), calls
+    )
+    lqn_delay = _time_predictions(
+        lambda n: lqn.predict_mrt_ms(APP_SERV_S.name, n), max(10, calls // 50)
+    )
+
+    # Convergence criterion vs solve time (the paper's 20 ms discussion).
+    parameters = calibration.to_model_parameters()
+    rows = []
+    for criterion in (20.0, 5.0, 1.0, 0.1):
+        solver = LqnSolver(SolverOptions(convergence_criterion_ms=criterion))
+        model = build_trade_model(APP_SERV_F, typical_workload(1200), parameters)
+        solution = solver.solve(model)
+        rows.append(
+            (
+                criterion,
+                solution.solve_time_s * 1000.0,
+                solution.iterations,
+                solution.response_ms["browse"],
+            )
+        )
+    criterion_table = format_table(
+        ["criterion (ms)", "solve time (ms)", "iterations", "predicted MRT (ms)"],
+        rows,
+        title="Layered solver: convergence criterion vs solve time (AppServF, 1200 clients)",
+    )
+
+    # Hybrid start-up delay: rebuild the hybrid from scratch and time it.
+    start = time.perf_counter()
+    rebuilt = AdvancedHybridModel.build(parameters, list(ALL_APP_SERVERS))
+    startup = time.perf_counter() - start
+
+    # Capacity query costs.
+    hist_before = historical.model.predictions_made
+    historical.max_clients(APP_SERV_S.name, 500.0)
+    hist_capacity_predictions = historical.model.predictions_made - hist_before
+    lqn_before = lqn.solver.solve_count
+    lqn.max_clients(APP_SERV_S.name, 500.0)
+    lqn_capacity_solves = lqn.solver.solve_count - lqn_before
+
+    summary = format_kv(
+        {
+            "historical per-prediction delay (us)": hist_delay * 1e6,
+            "hybrid per-prediction delay (us)": hybrid_delay * 1e6,
+            "layered per-prediction delay (ms)": lqn_delay * 1e3,
+            "layered/historical delay ratio": lqn_delay / hist_delay,
+            "hybrid start-up delay (s)": startup,
+            "hybrid start-up LQN solves": rebuilt.report.lqn_solves,
+            "capacity query, historical (model evaluations)": hist_capacity_predictions,
+            "capacity query, layered (full solves)": lqn_capacity_solves,
+            "paper's anchors": "LQNS up to 3 s/solve; hybrid start-up 11 s; historical ~instant",
+        },
+        title="Section 8.5: prediction-evaluation delays",
+    )
+
+    return ExperimentResult(
+        experiment_id="delay",
+        title="Section 8.5: prediction delays",
+        rendered=criterion_table + "\n\n" + summary,
+        data={
+            "historical_delay_s": hist_delay,
+            "hybrid_delay_s": hybrid_delay,
+            "lqn_delay_s": lqn_delay,
+            "startup_delay_s": startup,
+            "criterion_rows": rows,
+            "lqn_capacity_solves": lqn_capacity_solves,
+        },
+    )

@@ -1,0 +1,64 @@
+"""Figure 2 — mean response time predictions vs measurements, 3 servers.
+
+Regenerates the paper's figure 2 as text series: for each architecture
+(including the new AppServS), mean response time versus number of typical-
+workload clients for the measured system and all three prediction methods,
+plus the corresponding throughput scalability series (the section-4.1
+"predicted throughput scalability graphs").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.evaluation import evaluate_all_methods
+from repro.experiments.scenario import ExperimentResult
+from repro.servers.catalogue import ALL_APP_SERVERS
+from repro.util.tables import format_series
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Produce the measured and predicted response-time curves."""
+    evaluation = evaluate_all_methods(fast=fast)
+
+    sections: list[str] = []
+    for arch in ALL_APP_SERVERS:
+        curve = evaluation.curves[arch.name]
+        sections.append(
+            format_series(
+                "clients",
+                curve["clients"],
+                {
+                    "measured (ms)": curve["measured"],
+                    "historical (ms)": curve["historical"],
+                    "layered queuing (ms)": curve["layered_queuing"],
+                    "hybrid (ms)": curve["hybrid"],
+                },
+                title=(
+                    f"Figure 2 [{arch.name}"
+                    + ("" if arch.established else ", NEW architecture")
+                    + "]: mean response time vs clients"
+                ),
+                precision=2,
+            )
+        )
+        sections.append(
+            format_series(
+                "clients",
+                curve["clients"],
+                {
+                    "measured (req/s)": curve["measured_tput"],
+                    "historical (req/s)": curve["historical_tput"],
+                    "layered queuing (req/s)": curve["layered_queuing_tput"],
+                },
+                title=f"Throughput scalability [{arch.name}]",
+                precision=2,
+            )
+        )
+
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Figure 2: mean response time predictions",
+        rendered="\n\n".join(sections),
+        data={"curves": evaluation.curves, "n_at_max": evaluation.n_at_max},
+    )

@@ -1,0 +1,96 @@
+"""Figure 4 — heterogeneous-workload predictions for the new server.
+
+Section 4.3: relationship 3 is calibrated from LQN-generated max throughputs
+at 0 % and 25 % buy requests on the established AppServF (the paper's 189
+and 158 req/s), then equation 5 rescales the line to the new AppServS.
+Figure 4 plots the resulting mean-response-time predictions for the mixed
+workloads against measurements on the new server.
+
+Shape target: "a good prediction for the shapes of the mean workload
+response time graphs", with the buy-heavy mix saturating at proportionally
+fewer clients.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ground_truth as gt
+from repro.experiments.scenario import ExperimentResult, build_historical_model
+from repro.prediction.accuracy import accuracy
+from repro.servers.catalogue import APP_SERV_S
+from repro.util.tables import format_kv, format_series
+
+__all__ = ["run"]
+
+_BUY_FRACTIONS = (0.0, 0.25)
+_LOAD_FRACTIONS = (0.3, 0.5, 0.7, 0.9, 1.1, 1.4)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Compare mixed-workload predictions with measurements on AppServS."""
+    model = build_historical_model(fast=fast, with_mix=True)
+    observations = gt.lqn_mix_observations(fast=fast)
+
+    sections: list[str] = []
+    data: dict[str, object] = {"mix_observations": observations}
+    accuracies: dict[float, float] = {}
+    server = APP_SERV_S.name
+    for buy_fraction in _BUY_FRACTIONS:
+        mx_b = (
+            model.throughput_model.max_throughput[server]
+            if buy_fraction == 0.0
+            else model.mix_model.scaled_max_throughput(
+                buy_fraction, model.throughput_model.max_throughput[server]
+            )
+        )
+        n_at_max = mx_b / model.throughput_model.gradient
+        clients: list[float] = []
+        predicted: list[float] = []
+        measured: list[float] = []
+        point_accuracies: list[float] = []
+        fractions = _LOAD_FRACTIONS[::2] if fast else _LOAD_FRACTIONS
+        for frac in fractions:
+            n = max(1, int(round(frac * n_at_max)))
+            pred = model.predict_mrt_ms(server, n, buy_fraction=buy_fraction)
+            meas = gt.measured_point(
+                server, n, buy_fraction=buy_fraction, fast=fast
+            ).mean_response_ms
+            clients.append(float(n))
+            predicted.append(pred)
+            measured.append(meas)
+            point_accuracies.append(accuracy(pred, meas))
+        accuracies[buy_fraction] = sum(point_accuracies) / len(point_accuracies)
+        data[f"curve@{buy_fraction}"] = {
+            "clients": clients,
+            "predicted": predicted,
+            "measured": measured,
+        }
+        sections.append(
+            format_series(
+                "clients",
+                clients,
+                {"historical prediction (ms)": predicted, "measured (ms)": measured},
+                title=(
+                    f"Figure 4 [{server}]: mean response time at "
+                    f"{100 * buy_fraction:.0f}% buy requests"
+                ),
+                precision=2,
+            )
+        )
+
+    anchors = format_kv(
+        {
+            "LQN max tput @ 0% buy (AppServF)": observations[0][1],
+            "LQN max tput @ 25% buy (AppServF)": observations[1][1],
+            "paper's anchors (req/s)": "189 / 158",
+            "mean accuracy @ 0% buy": f"{100 * accuracies[0.0]:.1f}%",
+            "mean accuracy @ 25% buy": f"{100 * accuracies[0.25]:.1f}%",
+        },
+        title="Relationship 3 anchors and accuracy",
+    )
+
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Figure 4: heterogeneous workload predictions",
+        rendered="\n\n".join(sections) + "\n\n" + anchors,
+        data=data,
+    )

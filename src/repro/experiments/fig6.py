@@ -1,0 +1,42 @@
+"""Figure 6 — % server usage vs load at different slack levels.
+
+Shape targets: usage rises with load in steps (whole servers are engaged),
+higher slack uses more processing power at every load, and usage reaches
+100 % at high loads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig5 import SLACK_LEVELS
+from repro.experiments.rm_common import build_rm_setup, default_loads
+from repro.experiments.scenario import ExperimentResult
+from repro.util.tables import format_series
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Sweep loads at the figure's slack levels and report % server usage."""
+    setup = build_rm_setup(fast=fast)
+    loads = default_loads(fast=fast)
+
+    series: dict[str, list[float]] = {}
+    data: dict[str, object] = {"loads": loads}
+    for slack in SLACK_LEVELS:
+        sweep = setup.sweep(loads, slack)
+        series[f"slack={slack}"] = sweep.server_usage_series()
+        data[f"usage@{slack}"] = sweep.server_usage_series()
+
+    table = format_series(
+        "total clients",
+        [float(load) for load in loads],
+        series,
+        title="Figure 6: % server usage vs load (resource management algorithm)",
+        precision=2,
+    )
+    return ExperimentResult(
+        experiment_id="fig6",
+        title="Figure 6: % server usage vs load",
+        rendered=table,
+        data=data,
+    )

@@ -1,0 +1,113 @@
+"""Figure 7 — cost metrics as the slack is reduced from 1.1 to 0.
+
+Shape targets (section 9.1):
+
+* at the minimum zero-failure slack (the paper's 1.1), SU_max is recorded
+  (62.7 % in the paper) and the % server usage saving is 0;
+* during the first ~0.1 of slack reduction, the usage saving grows faster
+  than the SLA failures (guaranteeing zero failures at *any* load costs a
+  lot of processing power);
+* thereafter failures accelerate, reaching 100 % failures and the full
+  SU_max saving at slack 0 (no clients allocated);
+* the minimum zero-failure slack exceeds 1/weighted-accuracy because the
+  greedy algorithm leans on some servers' predictions more than others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.rm_common import (
+    build_rm_setup,
+    default_loads,
+    weighted_prediction_accuracy,
+)
+from repro.experiments.scenario import ExperimentResult
+from repro.util.tables import format_kv, format_series
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Sweep slack 1.1 → 0 and report the averaged cost metrics."""
+    setup = build_rm_setup(fast=fast)
+    loads = default_loads(fast=fast)
+    slacks = (
+        [1.1, 0.9, 0.6, 0.3, 0.0] if fast else [round(s, 2) for s in np.arange(0.0, 1.1001, 0.1)][::-1]
+    )
+
+    analysis = setup.analysis(list(slacks), loads)
+    rows = analysis.tradeoff_series()
+    table = format_series(
+        "slack",
+        [r[0] for r in rows],
+        {
+            "avg % SLA failures": [r[1] for r in rows],
+            "avg % server usage saving": [r[2] for r in rows],
+        },
+        title="Figure 7: cost metrics as slack is reduced from 1.1 to 0",
+        precision=2,
+    )
+    accuracy = weighted_prediction_accuracy(setup, fast=fast)
+    summary = format_kv(
+        {
+            "SU_max (% usage at min zero-failure slack)": analysis.su_max_pct,
+            "min zero-failure slack": analysis.min_zero_failure_slack,
+            "weighted prediction accuracy y": f"{100 * accuracy:.1f}%",
+            "1 / y (uniform-error slack)": 1.0 / accuracy if accuracy else float("nan"),
+            "paper's values": "SU_max=62.7%, min slack=1.1, y=92.5% (1/y=1.075)",
+        },
+        title="Supporting quantities",
+    )
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Figure 7: slack trade-off",
+        rendered=table + "\n\n" + summary,
+        data={
+            "rows": rows,
+            "su_max": analysis.su_max_pct,
+            "min_zero_failure_slack": analysis.min_zero_failure_slack,
+            "weighted_accuracy": accuracy,
+        },
+    )
+
+
+def run_cost_analysis(fast: bool = False) -> ExperimentResult:
+    """The paper's 'current work', implemented: collapse figure 7's two
+    y-axes into one cost axis and find the lowest-cost slack."""
+    from repro.resource_manager.cost import ProviderCostModel, cost_curve, optimal_slack
+
+    setup = build_rm_setup(fast=fast)
+    loads = default_loads(fast=fast)
+    slacks = [round(s, 2) for s in np.arange(0.0, 1.1001, 0.1)][::-1]
+    if fast:
+        slacks = [1.1, 0.9, 0.7, 0.5, 0.3, 0.0]
+    analysis = setup.analysis(list(slacks), loads)
+
+    # Three provider postures: penalties dominate, balanced, hardware-lean.
+    models = {
+        "penalty-heavy (10:1)": ProviderCostModel(10.0, 1.0, breach_surcharge=50.0),
+        "balanced (1:1)": ProviderCostModel(1.0, 1.0),
+        "hardware-lean (1:10)": ProviderCostModel(1.0, 10.0),
+    }
+    sections = []
+    data: dict[str, object] = {}
+    for label, model in models.items():
+        curve = cost_curve(analysis, model)
+        winners, best = optimal_slack(analysis, model)
+        data[label] = {"curve": curve, "optimal": winners, "cost": best}
+        sections.append(
+            format_series(
+                "slack",
+                [s for s, _ in curve],
+                {"total cost": [c for _, c in curve]},
+                title=f"Single-axis cost curve, {label} (optimum at slack {winners})",
+                precision=1,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="fig7_cost",
+        title="Cost-function slack tuning (the paper's 'current work')",
+        rendered="\n\n".join(sections),
+        data=data,
+    )

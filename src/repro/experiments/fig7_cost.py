@@ -1,0 +1,9 @@
+"""Single-axis cost tuning of the slack parameter.
+
+The paper's closing "current work" (section 9.1) implemented: see
+:func:`repro.experiments.fig7.run_cost_analysis`.
+"""
+
+from repro.experiments.fig7 import run_cost_analysis as run
+
+__all__ = ["run"]

@@ -1,0 +1,137 @@
+"""Section 7.1 — percentile response-time predictions.
+
+The experiment: calibrate the double-exponential scale *b* from measured
+post-saturation samples on an established server (the paper's 204.1), then
+convert every method's *mean* predictions into 90th-percentile predictions
+via the two distribution regimes, and compare against measured 90th
+percentiles on established and new servers.
+
+Shape targets: all three methods reach a good accuracy; percentile accuracy
+is close to (a few points below) the corresponding mean accuracy; the
+historical method can also predict the percentile *directly* (calibrating
+relationship 1 on 90th-percentile data points), avoiding the loss.
+"""
+
+from __future__ import annotations
+
+from repro.distribution.percentile import PercentilePredictor
+from repro.distribution.rtdist import calibrate_scale
+from repro.experiments import ground_truth as gt
+from repro.experiments.scenario import ExperimentResult, SEED, build_predictors
+from repro.historical.datastore import HistoricalDataPoint, HistoricalDataStore
+from repro.historical.model import HistoricalModel
+from repro.prediction.accuracy import mean_accuracy
+from repro.servers.catalogue import ALL_APP_SERVERS, APP_SERV_F, APP_SERV_S
+from repro.util.tables import format_kv, format_table
+
+__all__ = ["run"]
+
+_P = 0.90
+_EVAL_FRACTIONS = (0.3, 0.55, 1.25, 1.6)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Predict 90th percentiles with all three methods."""
+    historical, lqn, hybrid, _ = build_predictors(fast=fast)
+    clients_at_max = historical.clients_at_max
+
+    # Calibrate b on AppServF past saturation (one measured run).
+    n_cal = int(1.3 * clients_at_max(APP_SERV_F.name))
+    calib_run = gt.measured_point(APP_SERV_F.name, n_cal, fast=fast)
+    scale_b = calibrate_scale(
+        calib_run.overall_stats.as_array(), calib_run.mean_response_ms
+    )
+
+    predictors = {
+        "historical": historical,
+        "layered_queuing": lqn,
+        "hybrid": hybrid,
+    }
+    rows = []
+    data: dict[str, float] = {"scale_b": scale_b}
+    for method, predictor in predictors.items():
+        percentile = PercentilePredictor(
+            predict_mean_ms=lambda s, n, p=predictor: p.predict_mrt_ms(s, n),
+            clients_at_max=clients_at_max,
+            scale_ms=scale_b,
+        )
+        for arch in ALL_APP_SERVERS:
+            pairs = []
+            fractions = _EVAL_FRACTIONS[::2] if fast else _EVAL_FRACTIONS
+            for frac in fractions:
+                n = max(1, int(frac * clients_at_max(arch.name)))
+                predicted = percentile.predict_percentile_ms(arch.name, n, _P)
+                measured = gt.measured_point(arch.name, n, fast=fast).percentile_ms(_P)
+                pairs.append((predicted, measured))
+            acc = mean_accuracy(pairs)
+            group = "established" if arch.established else "new"
+            data[f"{method}.{arch.name}"] = acc
+            rows.append((method, arch.name, group, f"{100 * acc:.1f}%"))
+
+    table = format_table(
+        ["method", "server", "group", "p90 accuracy"],
+        rows,
+        title="Section 7.1: 90th-percentile prediction accuracy (b extrapolation)",
+    )
+
+    # Direct historical percentile prediction: calibrate relationship 1 on
+    # p90 data points instead of means (possible for the historical method
+    # only, as section 7.1 notes).
+    direct = _direct_percentile_model(historical.model, fast=fast)
+    direct_pairs = []
+    for frac in (_EVAL_FRACTIONS[::2] if fast else _EVAL_FRACTIONS):
+        n = max(1, int(frac * clients_at_max(APP_SERV_S.name)))
+        predicted = direct.predict_mrt_ms(APP_SERV_S.name, n)
+        measured = gt.measured_point(APP_SERV_S.name, n, fast=fast).percentile_ms(_P)
+        direct_pairs.append((predicted, measured))
+    direct_acc = mean_accuracy(direct_pairs)
+    data["historical.direct.new"] = direct_acc
+
+    summary = format_kv(
+        {
+            "calibrated scale b (ms)": scale_b,
+            "paper's b": 204.1,
+            "direct historical p90 accuracy (new server)": f"{100 * direct_acc:.1f}%",
+            "paper's accuracies": "historical 80/88%, LQN 77/69%, hybrid 77/70% (new/established)",
+        },
+        title="Calibration and the direct-percentile alternative",
+    )
+
+    return ExperimentResult(
+        experiment_id="percentiles",
+        title="Section 7.1: percentile predictions",
+        rendered=table + "\n\n" + summary,
+        data=data,
+    )
+
+
+def _direct_percentile_model(reference: HistoricalModel, *, fast: bool) -> HistoricalModel:
+    """A historical model whose relationship 1 is calibrated on p90 samples."""
+    from repro.experiments.scenario import (
+        LOWER_CALIBRATION_FRACTIONS,
+        UPPER_CALIBRATION_FRACTIONS,
+    )
+    from repro.servers.catalogue import ESTABLISHED_SERVERS
+
+    store = HistoricalDataStore()
+    max_throughputs = dict(reference.throughput_model.max_throughput)
+    for arch in ESTABLISHED_SERVERS:
+        n_at_max = reference.throughput_model.clients_at_max(arch.name)
+        for frac in (*LOWER_CALIBRATION_FRACTIONS, *UPPER_CALIBRATION_FRACTIONS):
+            n = max(1, int(round(frac * n_at_max)))
+            result = gt.measured_point(arch.name, n, fast=fast)
+            store.add(
+                HistoricalDataPoint(
+                    server=arch.name,
+                    n_clients=n,
+                    mean_response_ms=result.percentile_ms(_P),
+                    throughput_req_per_s=result.throughput_req_per_s,
+                    n_samples=result.samples,
+                )
+            )
+    return HistoricalModel.calibrate(
+        store,
+        max_throughputs,
+        gradient=reference.throughput_model.gradient,
+        new_servers=(APP_SERV_S.name,),
+    )

@@ -1,0 +1,140 @@
+"""Sections 4.2/8.4 — accuracy versus the amount of historical data.
+
+The paper's recalibration claim: "accurate predictions can be made even when
+n_udp and n_ldp are both reduced to 2 and n_s is reduced to 50".  This
+experiment sweeps both knobs:
+
+* ``n_s`` — samples averaged into each data point (sub-sampled from the
+  measured runs, reproducing quick-recalibration noise);
+* ``n_ldp``/``n_udp`` — data points per equation (2, 3, 4).
+
+Shape targets: accuracy is already good at (2 points, 50 samples) and gains
+little beyond it; very small ``n_s`` (5) is visibly noisier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ground_truth as gt
+from repro.experiments.scenario import ExperimentResult, SEED
+from repro.historical.datastore import HistoricalDataStore
+from repro.historical.model import HistoricalModel
+from repro.prediction.accuracy import AccuracyReport
+from repro.util.errors import CalibrationError
+from repro.servers.catalogue import ALL_APP_SERVERS, APP_SERV_S, ESTABLISHED_SERVERS
+from repro.util.tables import format_table
+
+__all__ = ["run"]
+
+_LOWER_FRACTIONS = (0.35, 0.45, 0.55, 0.66)
+_UPPER_FRACTIONS = (1.15, 1.3, 1.45, 1.6)
+_EVAL_FRACTIONS = (0.25, 0.5, 1.25, 1.7)
+_PROVISIONAL_GRADIENT = 0.1425
+
+
+def _build_model(
+    n_samples: int, points: int, *, fast: bool, replication: int = 0
+) -> HistoricalModel:
+    store = HistoricalDataStore()
+    max_throughputs = {
+        arch.name: gt.benchmarked_max_throughput(arch.name, fast=fast)
+        for arch in ALL_APP_SERVERS
+    }
+    for arch in ESTABLISHED_SERVERS:
+        n_at_max = max_throughputs[arch.name] / _PROVISIONAL_GRADIENT
+        for frac in (*_LOWER_FRACTIONS, *_UPPER_FRACTIONS):
+            n = max(1, int(round(frac * n_at_max)))
+            result = gt.measured_point(arch.name, n, fast=fast)
+            store.add_from_simulation(
+                arch.name,
+                n,
+                result,
+                n_samples=n_samples,
+                seed=SEED + 1000 * replication + n_samples,
+            )
+    return HistoricalModel.calibrate(
+        store,
+        max_throughputs,
+        n_ldp=points,
+        n_udp=points,
+        new_servers=(APP_SERV_S.name,),
+    )
+
+
+def _evaluate(model: HistoricalModel, *, fast: bool) -> tuple[float, float]:
+    """(established, new) overall MRT accuracy on the evaluation grid."""
+    groups: dict[bool, list[float]] = {True: [], False: []}
+    for arch in ALL_APP_SERVERS:
+        report = AccuracyReport(method="historical", server=arch.name)
+        n_at_max = model.throughput_model.clients_at_max(arch.name)
+        for frac in _EVAL_FRACTIONS:
+            n = max(1, int(round(frac * n_at_max)))
+            measured = gt.measured_point(arch.name, n, fast=fast).mean_response_ms
+            predicted = model.predict_mrt_ms(arch.name, n)
+            report.add(n, n_at_max, predicted, measured)
+        groups[arch.established].append(report.overall_accuracy)
+    return (
+        sum(groups[True]) / len(groups[True]),
+        sum(groups[False]) / len(groups[False]),
+    )
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Sweep (n_s, points-per-equation) and report the accuracy surface."""
+    sample_budgets = (10, 50) if fast else (5, 20, 50, 200)
+    point_budgets = (2, 4) if fast else (2, 3, 4)
+
+    replications = 2 if fast else 5
+    rows = []
+    data: dict[str, tuple[float, float]] = {}
+    for n_samples in sample_budgets:
+        for points in point_budgets:
+            established_acc: list[float] = []
+            new_acc: list[float] = []
+            failed = 0
+            for replication in range(replications):
+                try:
+                    model = _build_model(
+                        n_samples, points, fast=fast, replication=replication
+                    )
+                except CalibrationError:
+                    # The sampled data was unusable (e.g. the higher-load
+                    # point came out with a lower response time, making λ_L
+                    # non-positive) — a real quick-recalibration failure the
+                    # workload manager would have to retry.
+                    failed += 1
+                    continue
+                established, new = _evaluate(model, fast=fast)
+                established_acc.append(established)
+                new_acc.append(new)
+            established = float(np.median(established_acc)) if established_acc else float("nan")
+            new = float(np.median(new_acc)) if new_acc else float("nan")
+            rows.append(
+                (
+                    n_samples,
+                    points,
+                    f"{100 * established:.1f}%" if established_acc else "n/a",
+                    f"{100 * new:.1f}%" if new_acc else "n/a",
+                    f"{failed}/{replications}",
+                )
+            )
+            data[f"ns={n_samples},pts={points}"] = (established, new)
+
+    table = format_table(
+        [
+            "n_s (samples/point)",
+            "points/equation",
+            "established acc",
+            "new server acc",
+            "failed recalibrations",
+        ],
+        rows,
+        title="Recalibration study: accuracy vs quantity of historical data",
+    )
+    return ExperimentResult(
+        experiment_id="recalibration",
+        title="Recalibration: accuracy vs historical-data budget",
+        rendered=table,
+        data=data,
+    )

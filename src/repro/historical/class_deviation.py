@@ -1,0 +1,101 @@
+"""Service-class response-time deviation factors (section 4.3's remark).
+
+Section 4.3 closes with: "A similar procedure can also be used to
+extrapolate the deviation of service class specific response times from the
+mean workload response time due to differences in the number and complexity
+of database requests made."
+
+The resource manager needs exactly this — a class's SLA is on *its* response
+times, not the workload mean.  Two routes are provided:
+
+* :func:`demand_ratio_factor` — the a-priori estimate: a class's responses
+  scale with its total per-request demand relative to the mix mean (what
+  :func:`repro.resource_manager.sla.class_rt_factor` uses);
+* :class:`ClassDeviationModel` — the *historical* route the paper sketches:
+  calibrate the factors from measured mixed-workload runs and extrapolate
+  them (they are found to be stable across loads and architectures, like
+  relationship 3's ratios).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.system import SimulationResult
+from repro.util.errors import CalibrationError
+from repro.util.validation import check_positive, require
+from repro.workload.service_class import ServiceClass
+
+__all__ = ["demand_ratio_factor", "ClassDeviationModel"]
+
+
+def demand_ratio_factor(
+    service_class: ServiceClass, workload_classes: dict[ServiceClass, int]
+) -> float:
+    """A-priori deviation factor: class demand over the mix-mean demand.
+
+    ``workload_classes`` maps the co-located classes to their client counts
+    (the class itself included).
+    """
+    require(len(workload_classes) > 0, "workload must contain at least one class")
+    total_clients = sum(workload_classes.values())
+    require(total_clients > 0, "workload must contain clients")
+    mean_demand = (
+        sum(
+            cls.mean_total_demand_ms() * count
+            for cls, count in workload_classes.items()
+        )
+        / total_clients
+    )
+    check_positive(mean_demand, "mean workload demand")
+    return service_class.mean_total_demand_ms() / mean_demand
+
+
+@dataclass
+class ClassDeviationModel:
+    """Measured per-class deviation factors, averaged across observations.
+
+    Feed it mixed-workload measurements (simulated or real); it records each
+    class's ratio of class response time to workload-mean response time, and
+    predicts class responses from any mean-response prediction.
+    """
+
+    _observations: dict[str, list[float]] = field(default_factory=dict)
+
+    def observe(self, result: SimulationResult) -> None:
+        """Record the per-class factors from one mixed-workload run."""
+        mean = result.mean_response_ms
+        if not mean or mean != mean:
+            raise CalibrationError("run has no mean response time")
+        for name, class_mean in result.per_class_mean_ms.items():
+            self._observations.setdefault(name, []).append(class_mean / mean)
+
+    def classes(self) -> list[str]:
+        """Classes with at least one observation."""
+        return sorted(self._observations)
+
+    def factor(self, class_name: str) -> float:
+        """The calibrated deviation factor for one class."""
+        try:
+            values = self._observations[class_name]
+        except KeyError:
+            raise CalibrationError(
+                f"no observations for class {class_name!r}; observed: "
+                f"{self.classes()}"
+            ) from None
+        return float(np.mean(values))
+
+    def factor_spread(self, class_name: str) -> float:
+        """Max−min spread of the observed factors — the paper-style evidence
+        that the factor is stable across loads/architectures."""
+        values = self._observations.get(class_name, [])
+        if len(values) < 2:
+            return 0.0
+        return float(max(values) - min(values))
+
+    def predict_class_mrt_ms(self, class_name: str, mean_prediction_ms: float) -> float:
+        """Class response time from a workload-mean prediction."""
+        check_positive(mean_prediction_ms, "mean_prediction_ms")
+        return self.factor(class_name) * mean_prediction_ms

@@ -1,0 +1,138 @@
+"""Historical performance data points and their collection policies.
+
+A *data point* records the mean response time (averaged across ``n_samples``
+samples) of a workload at a number of clients on one server — exactly the
+shape of the paper's historical data ("each data point records the mean
+response time (as averaged across ns samples) of the typical workload at a
+number of clients").
+
+Data points can be recorded from a live simulation result with a bounded
+sample budget, which is what makes the paper's recalibration study (accuracy
+versus ``n_s``, ``n_ldp``, ``n_udp``) expressible: sub-sampling a run with a
+small ``n_s`` reproduces the sampling noise a real workload manager would
+face when recalibrating quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.simulation.system import SimulationResult
+from repro.util.errors import CalibrationError
+from repro.util.rng import spawn_rng
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive_int,
+)
+
+__all__ = ["HistoricalDataPoint", "HistoricalDataStore"]
+
+
+@dataclass(frozen=True, slots=True)
+class HistoricalDataPoint:
+    """One historical observation of a (server, workload) combination."""
+
+    server: str
+    n_clients: int
+    mean_response_ms: float
+    throughput_req_per_s: float
+    n_samples: int
+    buy_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(float(self.n_clients), "n_clients")
+        check_non_negative(self.mean_response_ms, "mean_response_ms")
+        check_non_negative(self.throughput_req_per_s, "throughput_req_per_s")
+        check_positive_int(self.n_samples, "n_samples")
+        check_fraction(self.buy_fraction, "buy_fraction")
+
+
+class HistoricalDataStore:
+    """An append-only store of historical data points, queryable by server."""
+
+    def __init__(self) -> None:
+        self._points: list[HistoricalDataPoint] = []
+
+    def add(self, point: HistoricalDataPoint) -> HistoricalDataPoint:
+        """Append one data point."""
+        self._points.append(point)
+        return point
+
+    def add_from_simulation(
+        self,
+        server: str,
+        n_clients: int,
+        result: SimulationResult,
+        *,
+        n_samples: int | None = None,
+        buy_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> HistoricalDataPoint:
+        """Record a data point from a simulation run.
+
+        When ``n_samples`` is smaller than the run's sample count, the mean
+        is taken over a random subset of that size — emulating a workload
+        manager that records only ``n_s`` samples before moving on (the
+        paper shows ``n_s = 50`` already gives accurate calibrations).
+        """
+        samples = result.overall_stats.as_array()
+        if samples.size == 0:
+            raise CalibrationError("simulation produced no response-time samples")
+        if n_samples is None or n_samples >= samples.size:
+            mean = float(samples.mean())
+            used = samples.size
+        else:
+            check_positive_int(n_samples, "n_samples")
+            rng = spawn_rng(seed, f"datapoint:{server}:{n_clients}:{n_samples}")
+            subset = rng.choice(samples, size=n_samples, replace=False)
+            mean = float(subset.mean())
+            used = n_samples
+        point = HistoricalDataPoint(
+            server=server,
+            n_clients=n_clients,
+            mean_response_ms=mean,
+            throughput_req_per_s=result.throughput_req_per_s,
+            n_samples=used,
+            buy_fraction=buy_fraction,
+        )
+        return self.add(point)
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def all_points(self) -> list[HistoricalDataPoint]:
+        """All stored points (copy)."""
+        return list(self._points)
+
+    def servers(self) -> list[str]:
+        """Server names with at least one point."""
+        return sorted({p.server for p in self._points})
+
+    def for_server(
+        self,
+        server: str,
+        *,
+        buy_fraction: float | None = 0.0,
+        min_clients: int | None = None,
+        max_clients: int | None = None,
+    ) -> list[HistoricalDataPoint]:
+        """Points for one server, optionally filtered by workload mix and
+        client-count range, sorted by client count.
+
+        ``buy_fraction=None`` disables mix filtering.
+        """
+        points = [
+            p
+            for p in self._points
+            if p.server == server
+            and (buy_fraction is None or abs(p.buy_fraction - buy_fraction) < 1e-12)
+            and (min_clients is None or p.n_clients >= min_clients)
+            and (max_clients is None or p.n_clients <= max_clients)
+        ]
+        points.sort(key=lambda p: p.n_clients)
+        return points

@@ -1,0 +1,134 @@
+"""Least-squares trend fitting for the historical method.
+
+The HYDRA tool "allows the accuracy of relationships to be tested on
+variable quantities of historical data" by fitting trend lines (least
+squares).  Three trend shapes cover the paper's relationships:
+
+* linear        ``y = a·x + b``          (upper equation; relationship 3)
+* exponential   ``y = c·e^(λ·x)``        (lower equation; transition)
+* power law     ``y = C·x^Δ``            (relationship 2's λ_L scaling)
+
+Exponential and power fits are performed in log space, which is both the
+classical approach and numerically robust for the paper's parameter ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import CalibrationError
+
+__all__ = [
+    "FitResult",
+    "fit_linear",
+    "fit_linear_through_origin",
+    "fit_exponential",
+    "fit_power",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FitResult:
+    """Parameters of a fitted trend, plus the coefficient of determination."""
+
+    params: tuple[float, ...]
+    r_squared: float
+    n_points: int
+
+    def __iter__(self):
+        return iter(self.params)
+
+
+def _as_arrays(x, y, minimum: int) -> tuple[np.ndarray, np.ndarray]:
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.ndim != 1 or xa.shape != ya.shape:
+        raise CalibrationError(f"x and y must be equal-length 1-D, got {xa.shape}/{ya.shape}")
+    if xa.size < minimum:
+        raise CalibrationError(f"need at least {minimum} data points, got {xa.size}")
+    if not (np.isfinite(xa).all() and np.isfinite(ya).all()):
+        raise CalibrationError("data points must be finite")
+    return xa, ya
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - y.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_linear(x, y) -> FitResult:
+    """Least-squares fit of ``y = slope·x + intercept``.
+
+    Returns ``FitResult(params=(slope, intercept))``.
+    """
+    xa, ya = _as_arrays(x, y, 2)
+    if np.allclose(xa, xa[0]):
+        raise CalibrationError("cannot fit a line through points with identical x")
+    slope, intercept = np.polyfit(xa, ya, 1)
+    return FitResult(
+        params=(float(slope), float(intercept)),
+        r_squared=_r_squared(ya, slope * xa + intercept),
+        n_points=xa.size,
+    )
+
+
+def fit_linear_through_origin(x, y) -> FitResult:
+    """Least-squares fit of ``y = slope·x`` (no intercept).
+
+    Used for the clients→throughput gradient *m*, which is zero at zero
+    clients by construction.
+    """
+    xa, ya = _as_arrays(x, y, 1)
+    denom = float(np.dot(xa, xa))
+    if denom == 0.0:
+        raise CalibrationError("cannot fit through origin with all-zero x")
+    slope = float(np.dot(xa, ya) / denom)
+    return FitResult(
+        params=(slope,),
+        r_squared=_r_squared(ya, slope * xa),
+        n_points=xa.size,
+    )
+
+
+def fit_exponential(x, y) -> FitResult:
+    """Least-squares fit of ``y = c·exp(λ·x)`` (log-linear).
+
+    Returns ``FitResult(params=(c, lam))``.  All ``y`` must be positive.
+    """
+    xa, ya = _as_arrays(x, y, 2)
+    if (ya <= 0).any():
+        raise CalibrationError("exponential fit requires positive y values")
+    if np.allclose(xa, xa[0]):
+        raise CalibrationError("cannot fit an exponential through points with identical x")
+    lam, log_c = np.polyfit(xa, np.log(ya), 1)
+    c = float(np.exp(log_c))
+    return FitResult(
+        params=(c, float(lam)),
+        r_squared=_r_squared(ya, c * np.exp(lam * xa)),
+        n_points=xa.size,
+    )
+
+
+def fit_power(x, y) -> FitResult:
+    """Least-squares fit of ``y = C·x^Δ`` (log-log).
+
+    Returns ``FitResult(params=(C, delta))``.  All ``x`` and ``y`` must be
+    positive.
+    """
+    xa, ya = _as_arrays(x, y, 2)
+    if (xa <= 0).any() or (ya <= 0).any():
+        raise CalibrationError("power-law fit requires positive x and y values")
+    if np.allclose(xa, xa[0]):
+        raise CalibrationError("cannot fit a power law through points with identical x")
+    delta, log_c = np.polyfit(np.log(xa), np.log(ya), 1)
+    c = float(np.exp(log_c))
+    return FitResult(
+        params=(c, float(delta)),
+        r_squared=_r_squared(ya, c * xa ** delta),
+        n_points=xa.size,
+    )

@@ -1,0 +1,76 @@
+"""Relationship 3: buy-request percentage → server max throughput.
+
+Section 4.3 of the paper: "There is found to be a linear relationship
+between the percentage of buy requests, b, on an established server and its
+max throughput which is used to extrapolate the max throughput at any buy
+percentage".  For a *new* server the established curve is rescaled by the
+ratio of typical-workload max throughputs (equation 5):
+
+    mx_N(b) = mx_E(b) × mx_N(0) / mx_E(0)
+
+A buy percentage of 0 represents the typical (homogeneous browse) workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.historical.fitting import fit_linear
+from repro.util.errors import CalibrationError
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["BuyMixModel"]
+
+
+@dataclass(frozen=True)
+class BuyMixModel:
+    """The fitted established-server line ``mx_E(b) = slope·b + mx_E(0)``."""
+
+    established_server: str
+    slope: float  # req/s per unit buy fraction (negative: buys are heavier)
+    intercept: float  # mx_E(0), req/s
+
+    def __post_init__(self) -> None:
+        check_positive(self.intercept, "intercept")
+
+    @classmethod
+    def calibrate(
+        cls,
+        established_server: str,
+        observations: list[tuple[float, float]],
+    ) -> "BuyMixModel":
+        """Fit from ``(buy_fraction, max_throughput)`` observations.
+
+        The paper uses just two — 0 % and 25 % buy requests on AppServF (189
+        and 158 req/s, LQNS-generated).
+        """
+        if len(observations) < 2:
+            raise CalibrationError(
+                f"relationship 3 needs >= 2 observations, got {len(observations)}"
+            )
+        for b, mx in observations:
+            check_fraction(b, "buy_fraction")
+            check_positive(mx, "max_throughput")
+        fit = fit_linear([b for b, _ in observations], [mx for _, mx in observations])
+        slope, intercept = fit.params
+        return cls(established_server=established_server, slope=slope, intercept=intercept)
+
+    def established_max_throughput(self, buy_fraction: float) -> float:
+        """``mx_E(b)`` on the calibration server."""
+        check_fraction(buy_fraction, "buy_fraction")
+        value = self.slope * buy_fraction + self.intercept
+        if value <= 0:
+            raise CalibrationError(
+                f"extrapolated max throughput is non-positive at buy fraction "
+                f"{buy_fraction}; the linear relationship does not extend this far"
+            )
+        return value
+
+    def scaled_max_throughput(
+        self, buy_fraction: float, new_server_typical_max: float
+    ) -> float:
+        """Equation 5: ``mx_N(b)`` for a server whose typical-workload max
+        throughput is ``new_server_typical_max``."""
+        check_positive(new_server_typical_max, "new_server_typical_max")
+        ratio = new_server_typical_max / self.established_max_throughput(0.0)
+        return self.established_max_throughput(buy_fraction) * ratio

@@ -1,0 +1,83 @@
+"""Persistence for historical performance data.
+
+HYDRA's value comes from *accumulated* data, so the store must outlive a
+process.  Data points serialise to CSV (one observation per row — the
+natural interchange format for performance logs) with a header carrying the
+column contract.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.historical.datastore import HistoricalDataPoint, HistoricalDataStore
+from repro.util.errors import CalibrationError
+
+__all__ = ["save_store_csv", "load_store_csv", "CSV_COLUMNS"]
+
+CSV_COLUMNS = (
+    "server",
+    "n_clients",
+    "mean_response_ms",
+    "throughput_req_per_s",
+    "n_samples",
+    "buy_fraction",
+)
+
+
+def save_store_csv(store: HistoricalDataStore, path: str | Path) -> Path:
+    """Write every data point to ``path`` as CSV; returns the path."""
+    target = Path(path)
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for point in store.all_points():
+            writer.writerow(
+                [
+                    point.server,
+                    point.n_clients,
+                    repr(point.mean_response_ms),
+                    repr(point.throughput_req_per_s),
+                    point.n_samples,
+                    repr(point.buy_fraction),
+                ]
+            )
+    return target
+
+
+def load_store_csv(path: str | Path) -> HistoricalDataStore:
+    """Read a store written by :func:`save_store_csv`."""
+    source = Path(path)
+    if not source.exists():
+        raise CalibrationError(f"no historical data file at {source}")
+    store = HistoricalDataStore()
+    with open(source, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != CSV_COLUMNS:
+            raise CalibrationError(
+                f"unexpected header in {source}: {header!r} (want {CSV_COLUMNS})"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(CSV_COLUMNS):
+                raise CalibrationError(
+                    f"{source}:{line_number}: expected {len(CSV_COLUMNS)} columns, "
+                    f"got {len(row)}"
+                )
+            try:
+                store.add(
+                    HistoricalDataPoint(
+                        server=row[0],
+                        n_clients=int(row[1]),
+                        mean_response_ms=float(row[2]),
+                        throughput_req_per_s=float(row[3]),
+                        n_samples=int(row[4]),
+                        buy_fraction=float(row[5]),
+                    )
+                )
+            except ValueError as exc:
+                raise CalibrationError(f"{source}:{line_number}: {exc}") from exc
+    return store

@@ -1,0 +1,125 @@
+"""Relationship 2: how relationship 1's parameters scale with max throughput.
+
+Section 4.2 of the paper approximates, across server architectures:
+
+* ``c_L  = Δ(c_L) · mx_throughput + C(c_L)``      (linear, equation 3)
+* ``λ_L  = C(λ_L) · mx_throughput ^ Δ(λ_L)``      (power law, equation 4)
+* ``λ_U`` scales inversely with max throughput ("given an increase/decrease
+  in server max throughput of z %, λ_U is found to increase/decrease by
+  roughly 1/z %") — i.e. ``λ_U · mx_throughput`` is constant;
+* ``c_U`` "is found to be roughly constant".
+
+Calibrating these from two or more *established* servers lets the method
+predict relationship 1's parameters — and hence full response-time curves —
+for a *new* architecture from nothing but its benchmarked max throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.historical.fitting import fit_linear, fit_power
+from repro.historical.relationships import LowerEquation, UpperEquation
+from repro.util.errors import CalibrationError
+from repro.util.validation import check_positive
+
+__all__ = ["ServerCalibration", "MaxThroughputScaling"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerCalibration:
+    """Relationship 1 parameters calibrated on one established server."""
+
+    server: str
+    max_throughput_req_per_s: float
+    lower: LowerEquation
+    upper: UpperEquation
+
+    def __post_init__(self) -> None:
+        check_positive(self.max_throughput_req_per_s, "max_throughput_req_per_s")
+
+
+@dataclass(frozen=True)
+class MaxThroughputScaling:
+    """The fitted scaling functions of relationship 2."""
+
+    delta_c_l: float  # Δ(c_L): slope of c_L versus max throughput
+    const_c_l: float  # C(c_L): intercept
+    const_lambda_l: float  # C(λ_L): power-law coefficient
+    delta_lambda_l: float  # Δ(λ_L): power-law exponent
+    lambda_u_product: float  # λ_U · mx (constant)
+    c_u_mean: float  # c_U (constant)
+
+    @classmethod
+    def calibrate(cls, calibrations: list[ServerCalibration]) -> "MaxThroughputScaling":
+        """Fit the scaling functions from ≥ 2 established-server calibrations.
+
+        The paper calibrates from AppServF and AppServVF; with exactly two
+        servers every fit is an interpolation, which is the paper's setting.
+        """
+        if len(calibrations) < 2:
+            raise CalibrationError(
+                f"relationship 2 needs >= 2 established servers, got {len(calibrations)}"
+            )
+        mx = np.array([c.max_throughput_req_per_s for c in calibrations])
+        c_l = np.array([c.lower.c_l for c in calibrations])
+        lam_l = np.array([c.lower.lambda_l for c in calibrations])
+        lam_u = np.array([c.upper.lambda_u for c in calibrations])
+        c_u = np.array([c.upper.c_u for c in calibrations])
+
+        linear = fit_linear(mx, c_l)
+        if (lam_l <= 0).any():
+            raise CalibrationError(
+                "relationship 2 requires positive lower-equation λ_L values; "
+                "recalibrate with data points spanning a wider load range"
+            )
+        power = fit_power(mx, lam_l)
+        return cls(
+            delta_c_l=linear.params[0],
+            const_c_l=linear.params[1],
+            const_lambda_l=power.params[0],
+            delta_lambda_l=power.params[1],
+            lambda_u_product=float(np.mean(lam_u * mx)),
+            c_u_mean=float(np.mean(c_u)),
+        )
+
+    def predict_c_l(self, max_throughput: float) -> float:
+        """Equation 3: predicted ``c_L`` for a server with this max throughput."""
+        check_positive(max_throughput, "max_throughput")
+        return self.delta_c_l * max_throughput + self.const_c_l
+
+    def predict_lambda_l(self, max_throughput: float) -> float:
+        """Equation 4: predicted ``λ_L``."""
+        check_positive(max_throughput, "max_throughput")
+        return self.const_lambda_l * max_throughput ** self.delta_lambda_l
+
+    def predict_lambda_u(self, max_throughput: float) -> float:
+        """Predicted ``λ_U`` (inverse proportionality)."""
+        check_positive(max_throughput, "max_throughput")
+        return self.lambda_u_product / max_throughput
+
+    def predict_c_u(self, max_throughput: float) -> float:
+        """Predicted ``c_U`` (constant across architectures)."""
+        check_positive(max_throughput, "max_throughput")
+        return self.c_u_mean
+
+    def predict_equations(
+        self, max_throughput: float
+    ) -> tuple[LowerEquation, UpperEquation]:
+        """Relationship 1 equations for a new server's max throughput."""
+        c_l = self.predict_c_l(max_throughput)
+        if c_l <= 0:
+            # Extrapolation beyond the calibrated range can push the linear
+            # c_L fit negative; clamp to a small positive floor so the
+            # exponential stays well-defined (the accuracy cost shows up in
+            # the evaluation, as it would for HYDRA).
+            c_l = 1e-3
+        return (
+            LowerEquation(c_l=c_l, lambda_l=self.predict_lambda_l(max_throughput)),
+            UpperEquation(
+                lambda_u=self.predict_lambda_u(max_throughput),
+                c_u=self.predict_c_u(max_throughput),
+            ),
+        )

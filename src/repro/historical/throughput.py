@@ -1,0 +1,124 @@
+"""The clients → throughput relationship.
+
+Section 4.1 of the paper: throughput is linear in the number of clients
+("this is a linear relationship until the max throughput for the server
+under that particular workload is reached"), with a gradient *m* that
+
+* can be calibrated from historical data (least squares through the origin);
+* "depends on and can be predicted from the mean client think-time, but does
+  not vary due to different server CPU speeds" — so one *m* serves every
+  architecture (*m* = 0.14 in the paper's setup, 7 s think time);
+* determines the number of clients at the max-throughput load,
+  ``n_at_max = max_throughput / m`` — the boundary between relationship 1's
+  lower and upper equations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.historical.datastore import HistoricalDataPoint
+from repro.historical.fitting import fit_linear_through_origin
+from repro.util.errors import CalibrationError
+from repro.util.units import MS_PER_S
+from repro.util.validation import check_positive
+
+__all__ = ["ThroughputModel", "gradient_from_think_time"]
+
+
+def gradient_from_think_time(think_time_ms: float, base_response_ms: float = 0.0) -> float:
+    """Predict *m* (req/s per client) from the mean client think time.
+
+    For a closed workload each client completes one request per
+    ``think + response`` cycle, so below saturation the throughput gradient
+    is ``1 / (think + base response)`` requests per second per client.  With
+    the paper's 7 s think time and a small base response this gives
+    ``m ≈ 0.14``.
+    """
+    check_positive(think_time_ms, "think_time_ms")
+    return MS_PER_S / (think_time_ms + base_response_ms)
+
+
+@dataclass
+class ThroughputModel:
+    """Linear-then-flat throughput model shared across architectures."""
+
+    gradient: float  # m: req/s per client, common to all servers
+    max_throughput: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive(self.gradient, "gradient")
+
+    @classmethod
+    def calibrate(
+        cls,
+        points_by_server: dict[str, list[HistoricalDataPoint]],
+        max_throughput: dict[str, float],
+    ) -> "ThroughputModel":
+        """Fit *m* from pre-saturation points pooled across servers.
+
+        Only points below each server's max throughput contribute: beyond it
+        the relationship is flat by construction.
+        """
+        xs: list[float] = []
+        ys: list[float] = []
+        for server, points in points_by_server.items():
+            mx = max_throughput.get(server)
+            if mx is None:
+                raise CalibrationError(f"no max throughput provided for {server!r}")
+            for p in points:
+                if p.throughput_req_per_s < 0.95 * mx:
+                    xs.append(float(p.n_clients))
+                    ys.append(p.throughput_req_per_s)
+        if len(xs) < 1:
+            raise CalibrationError("no pre-saturation data points to fit the gradient")
+        fit = fit_linear_through_origin(xs, ys)
+        return cls(gradient=fit.params[0], max_throughput=dict(max_throughput))
+
+    def register_server(self, server: str, max_throughput_req_per_s: float) -> None:
+        """Add (or update) a server's benchmarked max throughput."""
+        check_positive(max_throughput_req_per_s, "max_throughput_req_per_s")
+        self.max_throughput[server] = max_throughput_req_per_s
+
+    def predict_throughput(self, server: str, n_clients: float) -> float:
+        """Predicted throughput at ``n_clients`` (req/s): linear then flat."""
+        mx = self._mx(server)
+        return float(min(self.gradient * n_clients, mx))
+
+    def clients_at_max(self, server: str) -> float:
+        """The max-throughput load: clients at which the ramp meets the
+        plateau (``n_at_max = mx / m``)."""
+        return self._mx(server) / self.gradient
+
+    def scalability_curve(self, server: str, client_counts) -> np.ndarray:
+        """Vectorised predicted-throughput curve for plotting/benchmarks."""
+        n = np.asarray(client_counts, dtype=float)
+        return np.minimum(self.gradient * n, self._mx(server))
+
+    def accuracy_versus(
+        self, points_by_server: dict[str, list[HistoricalDataPoint]]
+    ) -> float:
+        """Mean relative error of throughput predictions (the paper reports
+        1.3 % across its three servers)."""
+        errors: list[float] = []
+        for server, points in points_by_server.items():
+            for p in points:
+                if p.throughput_req_per_s <= 0:
+                    continue
+                predicted = self.predict_throughput(server, p.n_clients)
+                errors.append(
+                    abs(predicted - p.throughput_req_per_s) / p.throughput_req_per_s
+                )
+        if not errors:
+            raise CalibrationError("no data points to evaluate accuracy against")
+        return float(np.mean(errors))
+
+    def _mx(self, server: str) -> float:
+        try:
+            return self.max_throughput[server]
+        except KeyError:
+            raise CalibrationError(
+                f"no max throughput registered for server {server!r}"
+            ) from None

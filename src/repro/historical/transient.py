@@ -1,0 +1,137 @@
+"""Transient (warm-up) behaviour — a historical-method exclusive.
+
+Section 8.2 of the paper: the layered queuing and hybrid methods "can only
+make steady state predictions", while "the historical method … can record
+(as variables) … the time the server has been stabilising toward the steady
+state".  This module implements that capability:
+
+* :func:`bucketed_response_curve` turns a time-stamped response-time trace
+  into a mean-response-vs-time-since-start curve;
+* :class:`TransientModel` fits the classical exponential settling form
+  ``mrt(t) = mrt_ss + A · exp(−t/τ)`` to such a curve, and can then predict
+  the response time at any warm-up age and the time needed to come within a
+  tolerance of steady state (e.g. to decide how long after adding a server
+  its measurements can be trusted).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.historical.fitting import fit_exponential
+from repro.util.errors import CalibrationError
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["bucketed_response_curve", "TransientModel"]
+
+
+def bucketed_response_curve(
+    timestamps_ms,
+    responses_ms,
+    *,
+    bucket_ms: float = 2000.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mean response time per time bucket since the trace's start.
+
+    Returns ``(bucket_centres_ms, mean_response_ms)``; empty buckets are
+    dropped.
+    """
+    check_positive(bucket_ms, "bucket_ms")
+    times = np.asarray(timestamps_ms, dtype=float)
+    values = np.asarray(responses_ms, dtype=float)
+    if times.shape != values.shape or times.ndim != 1:
+        raise CalibrationError("timestamps and responses must be equal-length 1-D")
+    if times.size == 0:
+        raise CalibrationError("empty trace")
+    start = float(times.min())
+    indices = ((times - start) // bucket_ms).astype(int)
+    n_buckets = int(indices.max()) + 1
+    sums = np.bincount(indices, weights=values, minlength=n_buckets)
+    counts = np.bincount(indices, minlength=n_buckets)
+    mask = counts > 0
+    centres = (np.arange(n_buckets)[mask] + 0.5) * bucket_ms
+    return centres, sums[mask] / counts[mask]
+
+
+@dataclass(frozen=True)
+class TransientModel:
+    """``mrt(t) = steady_state + amplitude · exp(−t/τ)`` settling model.
+
+    ``amplitude`` may be negative (response times *rising* toward steady
+    state, the usual case as queues fill from empty).
+    """
+
+    steady_state_ms: float
+    amplitude_ms: float
+    tau_ms: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.steady_state_ms, "steady_state_ms")
+        check_positive(self.tau_ms, "tau_ms")
+
+    @classmethod
+    def fit(cls, times_ms, responses_ms, *, steady_state_ms: float | None = None) -> "TransientModel":
+        """Fit from a (bucketed) response-vs-time curve.
+
+        When ``steady_state_ms`` is omitted, the mean of the last quarter of
+        the curve is used as the steady-state estimate; the remaining
+        transient ``mrt(t) − mrt_ss`` is fitted log-linearly.
+        """
+        times = np.asarray(times_ms, dtype=float)
+        values = np.asarray(responses_ms, dtype=float)
+        if times.size < 4:
+            raise CalibrationError("transient fit needs at least 4 points")
+        if steady_state_ms is None:
+            tail = max(1, times.size // 4)
+            steady_state_ms = float(values[-tail:].mean())
+        residual = values - steady_state_ms
+        sign = -1.0 if residual[: max(1, times.size // 4)].mean() < 0 else 1.0
+        magnitude = sign * residual
+        usable = magnitude > max(1e-9, 0.01 * steady_state_ms)
+        if usable.sum() < 2:
+            # Effectively already steady: an immediate-settling model.
+            return cls(
+                steady_state_ms=steady_state_ms,
+                amplitude_ms=0.0,
+                tau_ms=1e-6,
+            )
+        coeff, rate = fit_exponential(times[usable], magnitude[usable]).params
+        if rate >= 0:
+            raise CalibrationError(
+                "trace does not decay toward steady state (non-negative rate); "
+                "measure for longer"
+            )
+        return cls(
+            steady_state_ms=float(steady_state_ms),
+            amplitude_ms=float(sign * coeff),
+            tau_ms=float(-1.0 / rate),
+        )
+
+    def predict_ms(self, t_since_start_ms: float) -> float:
+        """Mean response time at warm-up age ``t`` (ms)."""
+        if self.amplitude_ms == 0.0:
+            return self.steady_state_ms
+        return self.steady_state_ms + self.amplitude_ms * math.exp(
+            -t_since_start_ms / self.tau_ms
+        )
+
+    def time_to_settle_ms(self, tolerance: float = 0.05) -> float:
+        """Warm-up time until within ``tolerance`` of the steady state.
+
+        The paper's workload manager question: how long after (re)starting a
+        server are its measurements representative?
+        """
+        check_fraction(tolerance, "tolerance")
+        if self.amplitude_ms == 0.0:
+            return 0.0
+        threshold = tolerance * self.steady_state_ms
+        if abs(self.amplitude_ms) <= threshold:
+            return 0.0
+        return self.tau_ms * math.log(abs(self.amplitude_ms) / threshold)
+
+    def is_steady(self, t_since_start_ms: float, tolerance: float = 0.05) -> bool:
+        """Whether measurements at age ``t`` are within tolerance of steady."""
+        return t_since_start_ms >= self.time_to_settle_ms(tolerance)

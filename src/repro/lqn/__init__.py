@@ -1,0 +1,81 @@
+"""Layered queuing network (LQN) modelling and solving.
+
+This package replaces the LQNS tool used in the paper with a from-scratch
+implementation of the same modelling approach (Woodside et al.'s stochastic
+rendezvous networks):
+
+* :mod:`repro.lqn.model` — processors, tasks, entries and synchronous /
+  asynchronous calls, with structural validation;
+* :mod:`repro.lqn.mva` — exact and Bard–Schweitzer approximate Mean Value
+  Analysis cores for closed multiclass queueing networks;
+* :mod:`repro.lqn.solver` — the layered fixed-point solver: hardware
+  contention is solved by approximate MVA while software (task-concurrency)
+  contention is folded in through surrogate stations, iterating until
+  response times change by less than a convergence criterion (the paper uses
+  20 ms, and discusses the accuracy/speed trade-off of that choice);
+* :mod:`repro.lqn.builder` — constructs the paper's two-tier Trade model
+  from a server architecture and workload;
+* :mod:`repro.lqn.calibration` — per-request-type processing-time
+  calibration from throughput and CPU-utilisation measurements on one
+  established server (section 5 of the paper).
+"""
+
+from repro.lqn.model import (
+    Call,
+    CallKind,
+    Entry,
+    LqnModel,
+    Processor,
+    Scheduling,
+    Task,
+)
+from repro.lqn.mva import (
+    MvaInput,
+    MvaSolution,
+    Station,
+    StationKind,
+    solve_bard_schweitzer,
+    solve_exact_single_class,
+)
+from repro.lqn.results import LqnSolution
+from repro.lqn.solver import LqnSolver, SolverOptions
+from repro.lqn.builder import build_trade_model, TradeModelParameters
+from repro.lqn.serialization import (
+    load_model,
+    model_from_dict,
+    model_to_dict,
+    save_model,
+)
+from repro.lqn.calibration import (
+    CalibratedRequestType,
+    LqnCalibration,
+    calibrate_from_simulator,
+)
+
+__all__ = [
+    "Call",
+    "CallKind",
+    "Entry",
+    "LqnModel",
+    "Processor",
+    "Scheduling",
+    "Task",
+    "MvaInput",
+    "MvaSolution",
+    "Station",
+    "StationKind",
+    "solve_bard_schweitzer",
+    "solve_exact_single_class",
+    "LqnSolution",
+    "LqnSolver",
+    "SolverOptions",
+    "build_trade_model",
+    "TradeModelParameters",
+    "CalibratedRequestType",
+    "LqnCalibration",
+    "calibrate_from_simulator",
+    "model_to_dict",
+    "model_from_dict",
+    "save_model",
+    "load_model",
+]

@@ -1,0 +1,248 @@
+"""Build the paper's two-tier Trade layered queuing model.
+
+Topology (section 5 / figure 1 of the paper):
+
+* reference tasks — one closed client population per service class, with the
+  class's think time;
+* an application task (multiplicity = thread pool, 50) on the application
+  CPU, with one entry per *request type* (browse / buy);
+* a database task (multiplicity 20) on the database CPU, one entry per
+  request type, called ``db_calls`` times per application request;
+* a disk task (multiplicity 1) on the disk processor — "the database server
+  disk is modelled as a processor that can only process one request at a
+  time" — called once per database request.
+
+New server architectures are modelled exactly as the paper prescribes: the
+calibrated reference processing times are kept, and the application
+processor's speed is set to the benchmarked established/new request
+processing speed ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lqn.model import Call, CallKind, Entry, LqnModel, Processor, Scheduling, Task
+from repro.servers.architecture import DatabaseArchitecture, ServerArchitecture
+from repro.servers.catalogue import DB_SERVER
+from repro.util.validation import check_non_negative, check_positive, require
+from repro.workload.service_class import ServiceClass
+
+__all__ = ["RequestTypeParameters", "TradeModelParameters", "build_trade_model"]
+
+
+@dataclass(frozen=True, slots=True)
+class RequestTypeParameters:
+    """Calibrated per-request-type model parameters (table 2 of the paper).
+
+    Processing times are at the calibration (reference) server's speed.
+    """
+
+    name: str
+    app_demand_ms: float
+    db_calls: float
+    db_cpu_per_call_ms: float
+    db_disk_per_call_ms: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.app_demand_ms, "app_demand_ms")
+        check_non_negative(self.db_calls, "db_calls")
+        check_non_negative(self.db_cpu_per_call_ms, "db_cpu_per_call_ms")
+        check_non_negative(self.db_disk_per_call_ms, "db_disk_per_call_ms")
+
+
+@dataclass(frozen=True)
+class TradeModelParameters:
+    """Everything the layered model needs besides the workload itself."""
+
+    request_types: dict[str, RequestTypeParameters]
+    reference_speed: float = 1.0  # cpu_speed of the server calibrated against
+    network_delay_ms: float = 0.0  # optional extension (see section 5.1)
+    db_arch: DatabaseArchitecture = field(default_factory=lambda: DB_SERVER)
+
+    def __post_init__(self) -> None:
+        require(len(self.request_types) > 0, "at least one request type required")
+        check_positive(self.reference_speed, "reference_speed")
+        check_non_negative(self.network_delay_ms, "network_delay_ms")
+
+
+def build_trade_model(
+    arch: ServerArchitecture,
+    workload: dict[ServiceClass, int],
+    params: TradeModelParameters,
+    *,
+    session_read_calls: dict[str, float] | None = None,
+    session_read_cpu_ms: float = 0.8,
+    session_read_disk_ms: float = 1.2,
+    open_workload: dict[ServiceClass, float] | None = None,
+) -> LqnModel:
+    """Construct the Trade LQN for one application server and a workload.
+
+    ``workload`` maps service classes to client counts; classes with zero
+    clients are skipped.  The application processor's speed is the target
+    architecture's speed relative to the calibration reference, which is how
+    the paper predicts new architectures from a benchmarked speed ratio.
+
+    ``session_read_calls`` (class name → mean extra database session-read
+    calls per request) supports the caching extension of section 7.2: a
+    cache miss costs one extra database call to read the client's session.
+    The mean call count is exactly the class's cache-miss probability —
+    which depends on the model's own solution, hence the fixed-point
+    iteration in :mod:`repro.caching.analysis`.
+
+    ``open_workload`` (service class → request arrival rate in req/s) adds
+    *open* sources — "clients sending requests at a constant rate", the
+    section-8.1 system-model variation — alongside the closed populations.
+    """
+    model = LqnModel()
+    model.add_processor(
+        Processor(
+            name="app_cpu",
+            scheduling=Scheduling.PROCESSOR_SHARING,
+            multiplicity=arch.cores,
+            speed=arch.cpu_speed / params.reference_speed,
+        )
+    )
+    model.add_processor(
+        Processor(
+            name="db_cpu",
+            scheduling=Scheduling.PROCESSOR_SHARING,
+            multiplicity=1,
+            speed=params.db_arch.cpu_speed,
+        )
+    )
+    model.add_processor(
+        Processor(
+            name="db_disk",
+            scheduling=Scheduling.FIFO,
+            multiplicity=1,
+            speed=params.db_arch.disk_speed,
+        )
+    )
+    model.add_processor(Processor(name="clients_proc", scheduling=Scheduling.DELAY))
+    if params.network_delay_ms > 0.0:
+        model.add_processor(Processor(name="network", scheduling=Scheduling.DELAY))
+
+    app_entries: list[Entry] = []
+    db_entries: list[Entry] = []
+    disk_entries: list[Entry] = []
+    if session_read_calls:
+        disk_entries.append(Entry(name="disk_session", demand_ms=session_read_disk_ms))
+        db_entries.append(
+            Entry(
+                name="db_session",
+                demand_ms=session_read_cpu_ms,
+                calls=(Call(target_entry="disk_session", mean_calls=1.0),),
+            )
+        )
+    for rt in params.request_types.values():
+        disk_entries.append(Entry(name=f"disk_{rt.name}", demand_ms=rt.db_disk_per_call_ms))
+        db_entries.append(
+            Entry(
+                name=f"db_{rt.name}",
+                demand_ms=rt.db_cpu_per_call_ms,
+                calls=(Call(target_entry=f"disk_{rt.name}", mean_calls=1.0),),
+            )
+        )
+        app_calls = [Call(target_entry=f"db_{rt.name}", mean_calls=rt.db_calls)]
+        app_entries.append(
+            Entry(
+                name=f"app_{rt.name}",
+                demand_ms=rt.app_demand_ms,
+                calls=tuple(app_calls),
+            )
+        )
+
+    model.add_task(
+        Task(
+            name="app_server",
+            processor="app_cpu",
+            entries=tuple(app_entries),
+            multiplicity=arch.max_concurrency,
+        )
+    )
+    model.add_task(
+        Task(
+            name="db_server",
+            processor="db_cpu",
+            entries=tuple(db_entries),
+            multiplicity=params.db_arch.max_concurrency,
+        )
+    )
+    model.add_task(
+        Task(name="disk", processor="db_disk", entries=tuple(disk_entries), multiplicity=1)
+    )
+    if params.network_delay_ms > 0.0:
+        # Round-trip network latency as a pure delay entry, called once per
+        # request — the "communication overhead" extension the paper suggests
+        # would improve the layered method's accuracy.
+        model.add_task(
+            Task(
+                name="network_link",
+                processor="network",
+                entries=(Entry(name="net_rtt", demand_ms=params.network_delay_ms),),
+                multiplicity=1_000_000,
+            )
+        )
+
+    for service_class, n_clients in workload.items():
+        if n_clients <= 0:
+            continue
+        calls: list[Call] = []
+        for type_name, fraction in sorted(service_class.request_type_fractions().items()):
+            if fraction <= 0.0:
+                continue
+            require(
+                type_name in params.request_types,
+                f"service class {service_class.name!r} uses uncalibrated request "
+                f"type {type_name!r}",
+            )
+            calls.append(Call(target_entry=f"app_{type_name}", mean_calls=fraction))
+        if params.network_delay_ms > 0.0:
+            calls.append(Call(target_entry="net_rtt", mean_calls=1.0))
+        if session_read_calls:
+            miss_calls = session_read_calls.get(service_class.name, 0.0)
+            if miss_calls > 0.0:
+                calls.append(Call(target_entry="db_session", mean_calls=miss_calls))
+        model.add_task(
+            Task(
+                name=service_class.name,
+                processor="clients_proc",
+                entries=(
+                    Entry(name=f"client_{service_class.name}", demand_ms=0.0, calls=tuple(calls)),
+                ),
+                multiplicity=n_clients,
+                is_reference=True,
+                think_time_ms=service_class.think_time_ms,
+            )
+        )
+    for service_class, rate_req_per_s in (open_workload or {}).items():
+        if rate_req_per_s <= 0:
+            continue
+        calls = []
+        for type_name, fraction in sorted(service_class.request_type_fractions().items()):
+            if fraction <= 0.0:
+                continue
+            require(
+                type_name in params.request_types,
+                f"open service class {service_class.name!r} uses uncalibrated "
+                f"request type {type_name!r}",
+            )
+            calls.append(Call(target_entry=f"app_{type_name}", mean_calls=fraction))
+        model.add_task(
+            Task(
+                name=f"open_{service_class.name}",
+                processor="clients_proc",
+                entries=(
+                    Entry(
+                        name=f"open_client_{service_class.name}",
+                        demand_ms=0.0,
+                        calls=tuple(calls),
+                    ),
+                ),
+                is_reference=True,
+                open_arrival_rate_per_s=rate_req_per_s,
+            )
+        )
+    model.validate()
+    return model

@@ -1,0 +1,172 @@
+"""Per-request-type calibration of the layered queuing model.
+
+Section 5 of the paper: "The per-request type parameters can be calibrated by
+taking an established server offline and sending a workload consisting only
+of that request type; the parameters are calculated from the resulting
+throughput (in requests/second) and the CPU usage of each server."
+
+This module performs exactly that procedure against the simulated testbed:
+one run per request type with a single-type workload, then
+
+* application CPU demand  = app CPU utilisation / throughput
+* database calls/request  = database completions / application completions
+* database CPU per call   = db CPU utilisation / (throughput × calls)
+* disk time per call      = disk utilisation / (throughput × calls)
+
+Demands are normalised to the calibration server's reference speed so the
+same parameters can predict any architecture via a speed ratio.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.lqn.builder import RequestTypeParameters, TradeModelParameters
+from repro.servers.architecture import ServerArchitecture
+from repro.servers.catalogue import DB_SERVER
+from repro.simulation.system import (
+    DEFAULT_NETWORK_LATENCY_MS,
+    SimulationConfig,
+    simulate_deployment,
+)
+from repro.util.errors import CalibrationError
+from repro.util.units import MS_PER_S
+from repro.util.validation import check_positive_int
+from repro.workload.service_class import ServiceClass
+from repro.workload.trade import browse_class, buy_class
+
+__all__ = ["CalibratedRequestType", "LqnCalibration", "calibrate_from_simulator"]
+
+
+@dataclass(frozen=True, slots=True)
+class CalibratedRequestType:
+    """One calibrated request type plus the measurements it came from."""
+
+    parameters: RequestTypeParameters
+    measured_throughput_req_per_s: float
+    measured_app_utilisation: float
+    measured_db_utilisation: float
+    measured_disk_utilisation: float
+    clients_used: int
+
+
+@dataclass
+class LqnCalibration:
+    """The calibrated layered queuing parameter set (the paper's table 2)."""
+
+    reference_server: str
+    reference_speed: float
+    request_types: dict[str, CalibratedRequestType] = field(default_factory=dict)
+    calibration_time_s: float = 0.0
+
+    def to_model_parameters(self, *, network_delay_ms: float = 0.0) -> TradeModelParameters:
+        """Package as :class:`TradeModelParameters` for the model builder."""
+        return TradeModelParameters(
+            request_types={
+                name: crt.parameters for name, crt in self.request_types.items()
+            },
+            reference_speed=self.reference_speed,
+            network_delay_ms=network_delay_ms,
+            db_arch=DB_SERVER,
+        )
+
+    def parameter_table(self) -> list[tuple[str, float, float]]:
+        """Rows of (request type, app server ms, db server ms-per-call) —
+        the layout of the paper's table 2."""
+        return [
+            (
+                name,
+                crt.parameters.app_demand_ms,
+                crt.parameters.db_cpu_per_call_ms,
+            )
+            for name, crt in sorted(self.request_types.items())
+        ]
+
+
+def _single_type_class(request_type: str) -> ServiceClass:
+    """A service class whose requests are exclusively one request type."""
+    if request_type == "browse":
+        return browse_class(name="calib_browse")
+    if request_type == "buy":
+        return buy_class(name="calib_buy")
+    raise CalibrationError(f"no single-type workload known for {request_type!r}")
+
+
+def calibrate_from_simulator(
+    arch: ServerArchitecture,
+    *,
+    request_types: tuple[str, ...] = ("browse", "buy"),
+    clients_per_type: int = 600,
+    duration_s: float = 120.0,
+    warmup_s: float = 20.0,
+    seed: int = 2004,
+    network_latency_ms: float = DEFAULT_NETWORK_LATENCY_MS,
+) -> LqnCalibration:
+    """Calibrate per-request-type parameters on an established server.
+
+    ``clients_per_type`` sets the offered load of the dedicated calibration
+    run; if it drives the server near saturation (utilisation > 0.9), the
+    load is halved and the run repeated — utilisation/throughput ratios are
+    ill-conditioned at saturation.
+    """
+    check_positive_int(clients_per_type, "clients_per_type")
+    start = time.perf_counter()
+    calibration = LqnCalibration(
+        reference_server=arch.name, reference_speed=arch.cpu_speed
+    )
+    config = SimulationConfig(
+        duration_s=duration_s,
+        warmup_s=warmup_s,
+        seed=seed,
+        network_latency_ms=network_latency_ms,
+    )
+
+    for request_type in request_types:
+        service_class = _single_type_class(request_type)
+        clients = clients_per_type
+        for _attempt in range(8):
+            result = simulate_deployment(arch, {service_class: clients}, config)
+            app_util = result.app_cpu_utilisation[arch.name]
+            if app_util <= 0.9 or clients <= 8:
+                break
+            clients = max(8, clients // 2)
+        else:  # pragma: no cover - defensive
+            raise CalibrationError(f"could not find an unsaturated load for {request_type}")
+
+        throughput = result.throughput_req_per_s
+        if throughput <= 0 or result.samples < 50:
+            raise CalibrationError(
+                f"calibration run for {request_type!r} produced too little data "
+                f"(throughput={throughput}, samples={result.samples})"
+            )
+        db_calls = result.db_requests_per_app_request
+        # utilisation / throughput yields seconds of demand per request;
+        # utilisation is per core, so total CPU work scales by the core count.
+        app_wall_ms = (
+            result.app_cpu_utilisation[arch.name] * arch.cores / throughput * MS_PER_S
+        )
+        db_total_ms = result.db_cpu_utilisation / throughput * MS_PER_S
+        disk_total_ms = result.db_disk_utilisation / throughput * MS_PER_S
+        if db_calls <= 0:
+            raise CalibrationError(f"no database calls observed for {request_type!r}")
+
+        parameters = RequestTypeParameters(
+            name=request_type,
+            # wall-clock CPU ms on this box × its speed = ms at reference speed
+            app_demand_ms=app_wall_ms * arch.cpu_speed / calibration.reference_speed,
+            db_calls=db_calls,
+            db_cpu_per_call_ms=db_total_ms / db_calls,
+            db_disk_per_call_ms=disk_total_ms / db_calls,
+        )
+        calibration.request_types[request_type] = CalibratedRequestType(
+            parameters=parameters,
+            measured_throughput_req_per_s=throughput,
+            measured_app_utilisation=result.app_cpu_utilisation[arch.name],
+            measured_db_utilisation=result.db_cpu_utilisation,
+            measured_disk_utilisation=result.db_disk_utilisation,
+            clients_used=clients,
+        )
+
+    calibration.calibration_time_s = time.perf_counter() - start
+    return calibration

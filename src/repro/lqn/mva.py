@@ -1,0 +1,414 @@
+"""Mean Value Analysis cores for closed multiclass queueing networks.
+
+Two solvers:
+
+* :func:`solve_exact_single_class` — Reiser/Lavenberg exact MVA for a single
+  closed class, including load-dependent multi-server stations.  Used for
+  validating the approximate core and in unit tests against closed-form
+  results (machine-repairman, M/M/1-with-think-time).
+* :func:`solve_bard_schweitzer` — multiclass Bard–Schweitzer approximate MVA
+  (fixed point on per-class queue lengths), the engine inside the layered
+  solver.  Multi-server stations use a scaled-queue approximation
+  (``R = D + (D/m)·A``), and *surrogate software stations* can be marked
+  ``waiting_only`` so only their queueing delay — not their (already counted
+  elsewhere) service — contributes to cycle response times.
+
+Demands are expressed **per cycle** of each class (visit ratio × mean service
+time, in ms).  A class may additionally place *hidden* demand on a station:
+work that loads the station (asynchronous calls, second-phase service) but is
+not on the caller's response-time path.
+
+Implementation follows the HPC-python guides: the Bard–Schweitzer fixed point
+is fully vectorised over the (class × station) matrices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import ConvergenceError, ValidationError
+from repro.util.validation import check_positive, check_positive_int, require
+
+__all__ = [
+    "StationKind",
+    "Station",
+    "MvaInput",
+    "MvaSolution",
+    "solve_bard_schweitzer",
+    "solve_exact_single_class",
+]
+
+
+class StationKind(enum.Enum):
+    """Queueing behaviour of one MVA station."""
+
+    QUEUE = "queue"  # single queueing resource (PS or FCFS — MVA treats alike)
+    DELAY = "delay"  # infinite server
+
+
+@dataclass(frozen=True, slots=True)
+class Station:
+    """One service centre in the closed network."""
+
+    name: str
+    kind: StationKind = StationKind.QUEUE
+    servers: int = 1
+    waiting_only: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.servers, "servers")
+        if self.kind is StationKind.DELAY and self.waiting_only:
+            raise ValidationError("a DELAY station has no waiting to count")
+
+
+@dataclass
+class MvaInput:
+    """A closed multiclass network, optionally mixed with open classes.
+
+    ``demands[c][k]`` is class ``c``'s visible per-cycle demand at station
+    ``k`` (ms); ``hidden_demands`` likewise for load that is off the response
+    path.  ``populations[c]`` may be zero (the class is simply absent).
+
+    Open classes (section 8.1 of the paper: "some or all clients sending
+    requests at a constant rate") are described by an arrival rate and a
+    per-request demand vector; they are solved with the standard
+    mixed-network reduction — open traffic inflates the closed classes'
+    effective demands by ``1/(1−ρ_open)`` at each queueing station, and open
+    response times then see the closed queue lengths.
+    """
+
+    stations: list[Station]
+    class_names: list[str]
+    populations: list[int]
+    think_times_ms: list[float]
+    demands: np.ndarray  # shape (C, K)
+    hidden_demands: np.ndarray | None = None
+    open_class_names: list[str] | None = None
+    open_rates_per_ms: list[float] | None = None
+    open_demands: np.ndarray | None = None  # shape (O, K)
+
+    def __post_init__(self) -> None:
+        require(len(self.class_names) == len(self.populations), "class/population mismatch")
+        require(len(self.class_names) == len(self.think_times_ms), "class/think mismatch")
+        self.demands = np.asarray(self.demands, dtype=float)
+        require(
+            self.demands.shape == (len(self.class_names), len(self.stations)),
+            f"demands must be (C={len(self.class_names)}, K={len(self.stations)}), "
+            f"got {self.demands.shape}",
+        )
+        if self.hidden_demands is None:
+            self.hidden_demands = np.zeros_like(self.demands)
+        else:
+            self.hidden_demands = np.asarray(self.hidden_demands, dtype=float)
+            require(
+                self.hidden_demands.shape == self.demands.shape,
+                "hidden_demands shape mismatch",
+            )
+        if (self.demands < 0).any() or (self.hidden_demands < 0).any():
+            raise ValidationError("demands must be non-negative")
+        for n in self.populations:
+            if n < 0:
+                raise ValidationError("populations must be >= 0")
+        for z in self.think_times_ms:
+            if z < 0:
+                raise ValidationError("think times must be >= 0")
+
+        if self.open_class_names is None:
+            self.open_class_names = []
+        if self.open_rates_per_ms is None:
+            self.open_rates_per_ms = []
+        require(
+            len(self.open_class_names) == len(self.open_rates_per_ms),
+            "open class/rate mismatch",
+        )
+        O = len(self.open_class_names)
+        if self.open_demands is None:
+            self.open_demands = np.zeros((O, len(self.stations)))
+        else:
+            self.open_demands = np.asarray(self.open_demands, dtype=float)
+        require(
+            self.open_demands.shape == (O, len(self.stations)),
+            f"open_demands must be (O={O}, K={len(self.stations)}), "
+            f"got {self.open_demands.shape}",
+        )
+        if (self.open_demands < 0).any():
+            raise ValidationError("open demands must be non-negative")
+        for rate in self.open_rates_per_ms:
+            if rate < 0:
+                raise ValidationError("open arrival rates must be >= 0")
+
+    def open_utilisation_per_station(self) -> np.ndarray:
+        """ρ_open per station (per server), from the open classes alone."""
+        rates = np.asarray(self.open_rates_per_ms, dtype=float)
+        servers = np.array([s.servers for s in self.stations], dtype=float)
+        if rates.size == 0:
+            return np.zeros(len(self.stations))
+        return (rates[:, None] * self.open_demands).sum(axis=0) / servers
+
+
+@dataclass
+class MvaSolution:
+    """Per-class and per-station steady-state estimates."""
+
+    class_names: list[str]
+    station_names: list[str]
+    throughput_per_ms: np.ndarray  # (C,) cycles per ms
+    cycle_response_ms: np.ndarray  # (C,) response time per cycle (excl. think)
+    queue_lengths: np.ndarray  # (C, K) mean customers (incl. in service)
+    residence_ms: np.ndarray  # (C, K) counted residence time per cycle
+    utilisation: np.ndarray  # (K,) per-server utilisation (DELAY: mean jobs)
+    iterations: int = 0
+    # Open-class estimates (mixed networks), keyed by open class name.
+    open_response_ms: dict = field(default_factory=dict)
+
+    def throughput_per_s(self, class_name: str) -> float:
+        """Class throughput in cycles (requests) per second."""
+        return float(self.throughput_per_ms[self.class_names.index(class_name)] * 1000.0)
+
+    def response_ms(self, class_name: str) -> float:
+        """Class response time per cycle, excluding think time (ms)."""
+        return float(self.cycle_response_ms[self.class_names.index(class_name)])
+
+    def station_utilisation(self, station_name: str) -> float:
+        """Per-server utilisation of one station."""
+        return float(self.utilisation[self.station_names.index(station_name)])
+
+
+def solve_bard_schweitzer(
+    inp: MvaInput,
+    *,
+    tol: float = 1e-10,
+    max_iterations: int = 100_000,
+    damping: float = 0.5,
+) -> MvaSolution:
+    """Solve a closed multiclass network by Bard–Schweitzer AMVA.
+
+    The fixed point iterates per-class queue lengths with ``damping`` (new =
+    damping·update + (1−damping)·old) until the largest queue-length change
+    is below ``tol``.
+    """
+    check_positive(tol, "tol")
+    check_positive_int(max_iterations, "max_iterations")
+    require(0.0 < damping <= 1.0, "damping must be in (0, 1]")
+
+    C = len(inp.class_names)
+    K = len(inp.stations)
+    N = np.asarray(inp.populations, dtype=float)  # (C,)
+    Z = np.asarray(inp.think_times_ms, dtype=float)  # (C,)
+
+    servers = np.array([s.servers for s in inp.stations], dtype=float)  # (K,)
+    is_delay = np.array([s.kind is StationKind.DELAY for s in inp.stations])
+    waiting_only = np.array([s.waiting_only for s in inp.stations])
+
+    # Mixed-network reduction: open traffic permanently occupies rho_open of
+    # each queueing station, so closed customers effectively see slower
+    # servers (demand inflated by 1/(1-rho_open)).
+    rho_open = inp.open_utilisation_per_station()  # (K,)
+    queue_saturated = (~is_delay) & (rho_open >= 1.0)
+    if queue_saturated.any():
+        bad = [inp.stations[k].name for k in np.flatnonzero(queue_saturated)]
+        raise ValidationError(
+            f"open arrival load saturates station(s) {bad}: the mixed network "
+            "is unstable"
+        )
+    inflation = np.where(is_delay, 1.0, 1.0 / (1.0 - rho_open))
+    D = inp.demands * inflation[None, :]  # (C, K)
+    H = inp.hidden_demands * inflation[None, :]  # (C, K)
+    D_all = D + H
+
+    def open_metrics(q_closed_total: np.ndarray) -> tuple[dict, np.ndarray]:
+        """Open-class response times and their utilisation contribution."""
+        responses: dict = {}
+        for o, name in enumerate(inp.open_class_names):
+            demand = inp.open_demands[o]
+            r = np.where(
+                is_delay,
+                demand,
+                demand * (1.0 + q_closed_total / servers) / np.maximum(1.0 - rho_open, 1e-12),
+            )
+            responses[name] = float(r.sum())
+        return responses, rho_open * servers  # total open work per station
+
+    active = N > 0
+    n_active = active.sum()
+    if n_active == 0 or K == 0:
+        open_responses, open_work = open_metrics(np.zeros(K))
+        util = np.where(is_delay, open_work, open_work / servers) if K else np.zeros(K)
+        return MvaSolution(
+            class_names=list(inp.class_names),
+            station_names=[s.name for s in inp.stations],
+            throughput_per_ms=np.zeros(C),
+            cycle_response_ms=np.zeros(C),
+            queue_lengths=np.zeros((C, K)),
+            residence_ms=np.zeros((C, K)),
+            utilisation=util,
+            iterations=0,
+            open_response_ms=open_responses,
+        )
+
+    # Initial guess: spread each class's population evenly over the stations
+    # it actually visits.
+    visits = (D_all > 0).astype(float)
+    visit_counts = np.maximum(visits.sum(axis=1, keepdims=True), 1.0)
+    Q = np.where(active[:, None], N[:, None] / visit_counts * visits, 0.0)
+
+    safe_N = np.where(active, N, 1.0)
+
+    def residence(demand: np.ndarray, A: np.ndarray) -> np.ndarray:
+        """Full residence time per cycle for ``demand`` given arrival queue A."""
+        R = np.empty_like(demand)
+        # Delay stations: no queueing.
+        R[:, is_delay] = demand[:, is_delay]
+        q_mask = ~is_delay
+        m = servers[q_mask]
+        R[:, q_mask] = demand[:, q_mask] * (1.0 + A[:, q_mask] / m)
+        return R
+
+    X = np.zeros(C)
+    R_counted_total = np.zeros(C)
+    R_vis = np.zeros((C, K))
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        Q_total = Q.sum(axis=0)  # (K,)
+        # Arrival theorem approximation: a class-c customer arriving sees the
+        # network without one of its own class (scaled by (Nc-1)/Nc).
+        A = Q_total[None, :] - Q / safe_N[:, None]
+        A = np.maximum(A, 0.0)
+
+        R_vis = residence(D, A)
+        R_hid = residence(H, A)
+
+        R_counted = R_vis.copy()
+        R_counted[:, waiting_only] -= D[:, waiting_only]
+        R_counted_total = R_counted.sum(axis=1)
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            X = np.where(active, N / (Z + R_counted_total), 0.0)
+
+        # A closed class's *visible* load is self-throttling, but its hidden
+        # (asynchronous / second-phase) work is not: if it alone exceeds a
+        # station's capacity there is no steady state — fail loudly instead
+        # of diverging.
+        hidden_util = (X[:, None] * H).sum(axis=0) / servers
+        overloaded = (~is_delay) & (hidden_util > 1.0 + 1e-9)
+        if overloaded.any():
+            bad = [inp.stations[k].name for k in np.flatnonzero(overloaded)]
+            raise ValidationError(
+                f"asynchronous/second-phase load exceeds capacity at station(s) "
+                f"{bad}: the model has no steady state"
+            )
+
+        Q_update = X[:, None] * (R_vis + R_hid)
+        Q_new = damping * Q_update + (1.0 - damping) * Q
+        delta = float(np.max(np.abs(Q_new - Q))) if Q.size else 0.0
+        Q = Q_new
+        if delta < tol:
+            break
+    else:  # pragma: no cover - defensive
+        raise ConvergenceError(
+            "Bard-Schweitzer AMVA did not converge",
+            iterations=max_iterations,
+            residual=float(delta),
+        )
+
+    # Utilisation from the *actual* work (un-inflated demands) plus the open
+    # classes' offered load.
+    closed_work = (X[:, None] * (inp.demands + inp.hidden_demands)).sum(axis=0)
+    open_responses, open_work = open_metrics(Q.sum(axis=0))
+    total_work = closed_work + open_work
+    util = np.where(is_delay, total_work, total_work / servers)
+
+    return MvaSolution(
+        class_names=list(inp.class_names),
+        station_names=[s.name for s in inp.stations],
+        throughput_per_ms=X,
+        cycle_response_ms=R_counted_total,
+        queue_lengths=Q,
+        residence_ms=R_vis,
+        utilisation=util,
+        iterations=iterations,
+        open_response_ms=open_responses,
+    )
+
+
+@dataclass
+class _ExactStation:
+    demand_ms: float
+    kind: StationKind = StationKind.QUEUE
+    servers: int = 1
+    # marginal queue-length probabilities p(j | n), updated along the recursion
+    p: list[float] = field(default_factory=lambda: [1.0])
+
+
+def solve_exact_single_class(
+    stations: list[Station],
+    demands_ms: list[float],
+    population: int,
+    think_time_ms: float = 0.0,
+) -> MvaSolution:
+    """Exact MVA for one closed class (load-dependent multi-servers included).
+
+    Used as the ground truth for validating :func:`solve_bard_schweitzer` in
+    the test suite and the solver-ablation benchmark.
+    """
+    require(len(stations) == len(demands_ms), "stations/demands length mismatch")
+    require(population >= 0, "population must be >= 0")
+    require(think_time_ms >= 0, "think time must be >= 0")
+    require(not any(s.waiting_only for s in stations), "exact MVA has no surrogate stations")
+
+    exact = [
+        _ExactStation(demand_ms=float(d), kind=s.kind, servers=s.servers)
+        for s, d in zip(stations, demands_ms)
+    ]
+    K = len(exact)
+
+    Q = np.zeros(K)
+    X = 0.0
+    R = np.zeros(K)
+    for n in range(1, population + 1):
+        for k, st in enumerate(exact):
+            if st.kind is StationKind.DELAY:
+                R[k] = st.demand_ms
+            elif st.servers == 1:
+                R[k] = st.demand_ms * (1.0 + Q[k])
+            else:
+                m = st.servers
+                # Reiser's exact multiserver residence using marginal
+                # probabilities from the (n-1)-customer network.
+                idle_weight = sum(
+                    (m - 1 - j) * (st.p[j] if j < len(st.p) else 0.0)
+                    for j in range(0, m - 1)
+                )
+                R[k] = (st.demand_ms / m) * (1.0 + Q[k] + idle_weight)
+        total_r = float(R.sum())
+        X = n / (think_time_ms + total_r) if (think_time_ms + total_r) > 0 else 0.0
+        Q = X * R
+        for k, st in enumerate(exact):
+            if st.kind is StationKind.QUEUE and st.servers > 1:
+                m = st.servers
+                new_p = [0.0] * (n + 1)
+                for j in range(1, n + 1):
+                    prev = st.p[j - 1] if j - 1 < len(st.p) else 0.0
+                    new_p[j] = (X * st.demand_ms / min(j, m)) * prev
+                new_p[0] = max(0.0, 1.0 - sum(new_p[1:]))
+                st.p = new_p
+
+    util = np.array(
+        [
+            X * st.demand_ms / (st.servers if st.kind is StationKind.QUEUE else 1.0)
+            for st in exact
+        ]
+    )
+    return MvaSolution(
+        class_names=["class0"],
+        station_names=[s.name for s in stations],
+        throughput_per_ms=np.array([X]),
+        cycle_response_ms=np.array([float(R.sum()) if population > 0 else 0.0]),
+        queue_lengths=Q[None, :].copy(),
+        residence_ms=R[None, :].copy(),
+        utilisation=util,
+        iterations=population,
+    )

@@ -1,0 +1,374 @@
+"""The layered queuing solver.
+
+Solution strategy (an SRVN-style approximation in the spirit of LQNS):
+
+1. **Flatten the call DAG.**  For every reference task (service class) the
+   solver walks the synchronous call graph and accumulates per-entry visit
+   ratios per client cycle.  Crossing an *asynchronous* call boundary — or a
+   second service phase — moves the downstream work onto the class's
+   *hidden* demand: it loads the stations but is off the response path.
+2. **Hardware contention.**  Every processor becomes a station of a closed
+   multiclass network (PS and FIFO both queue; DELAY processors are
+   infinite servers) with the flattened per-cycle demands, solved by
+   Bard–Schweitzer approximate MVA (:mod:`repro.lqn.mva`).
+3. **Software contention.**  Every non-reference task contributes a
+   *surrogate multi-server station* with one server per thread of its
+   multiplicity and ``waiting_only=True``: only queueing for a thread — not
+   the (already-counted) work done while holding it — adds to response
+   times.  The surrogate's per-visit service time is the task's
+   no-contention holding time (its entries' raw demand plus downstream raw
+   demands along synchronous calls), which keeps thread-pool queueing
+   negligible while the pool is ample and growing once offered concurrency
+   approaches the pool size — without double-counting processor queueing.
+
+The iteration stops when both queue lengths and per-class response times are
+stable; ``SolverOptions.convergence_criterion_ms`` plays the role of the
+LQNS convergence criterion the paper sets to 20 ms, trading accuracy for
+solve time (section 4.2 notes predictions for nearby client counts can
+invert under a loose criterion — this solver reproduces that behaviour).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.lqn.model import CallKind, LqnModel, Scheduling, Task
+from repro.lqn.mva import MvaInput, Station, StationKind
+from repro.lqn.results import LqnSolution
+from repro.util.errors import ConvergenceError, ModelError
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["SolverOptions", "LqnSolver"]
+
+
+@dataclass(frozen=True)
+class SolverOptions:
+    """Numerical controls for the layered solver.
+
+    ``convergence_criterion_ms`` is the paper's LQNS convergence criterion:
+    iteration stops once successive per-class response-time estimates differ
+    by less than this (and queue lengths by less than ``queue_tol``).
+    Tightening it increases solve time — the trade-off section 4.2 discusses.
+    """
+
+    convergence_criterion_ms: float = 1.0
+    queue_tol: float = 1e-6
+    max_iterations: int = 200_000
+    damping: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive(self.convergence_criterion_ms, "convergence_criterion_ms")
+        check_positive(self.queue_tol, "queue_tol")
+        check_positive_int(self.max_iterations, "max_iterations")
+
+
+class LqnSolver:
+    """Solves :class:`~repro.lqn.model.LqnModel` instances."""
+
+    def __init__(self, options: SolverOptions | None = None):
+        self.options = options if options is not None else SolverOptions()
+        self.solve_count = 0  # predictions evaluated, for delay accounting
+
+    # -- public API -----------------------------------------------------------
+
+    def solve(self, model: LqnModel) -> LqnSolution:
+        """Solve ``model`` and return steady-state predictions."""
+        start = time.perf_counter()
+        model.validate()
+        classes = model.reference_tasks()
+        if not classes:
+            raise ModelError("model has no reference tasks")
+
+        vis, hid = self._flatten(model, classes)
+        inp, station_names, task_station_index = self._build_network(model, classes, vis, hid)
+        solution = self._iterate(inp)
+
+        elapsed = time.perf_counter() - start
+        self.solve_count += 1
+        return self._package(
+            model, classes, vis, hid, inp, solution, station_names, task_station_index, elapsed
+        )
+
+    def max_clients_for_goal(
+        self,
+        build_model,
+        rt_goal_ms: float,
+        *,
+        class_name: str,
+        upper_bound: int = 100_000,
+    ) -> tuple[int, int]:
+        """Largest client count whose predicted response time meets a goal.
+
+        The layered queuing method can only take the number of clients as an
+        *input*, so — as section 8.2 of the paper notes — finding a capacity
+        means searching over client counts, evaluating a prediction at each
+        probe.  ``build_model(n)`` must return the model for ``n`` clients.
+
+        Returns ``(max_clients, predictions_evaluated)``; the second element
+        is what makes the layered method's capacity queries expensive
+        (section 8.5).
+        """
+        check_positive(rt_goal_ms, "rt_goal_ms")
+        evaluations = 0
+
+        def meets(n: int) -> bool:
+            nonlocal evaluations
+            evaluations += 1
+            result = self.solve(build_model(n))
+            return result.response_ms[class_name] <= rt_goal_ms
+
+        if not meets(1):
+            return 0, evaluations
+        # Exponential expansion then binary search.
+        lo, hi = 1, 2
+        while hi <= upper_bound and meets(hi):
+            lo, hi = hi, hi * 2
+        hi = min(hi, upper_bound)
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if meets(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo, evaluations
+
+    # -- flattening -----------------------------------------------------------
+
+    def _flatten(
+        self, model: LqnModel, classes: list[Task]
+    ) -> tuple[dict[tuple[str, str], float], dict[tuple[str, str], float]]:
+        """Per-class visible/hidden visit ratios for every entry.
+
+        Returns two maps ``(class_name, entry_name) -> visits per cycle``.
+        """
+        vis: dict[tuple[str, str], float] = {}
+        hid: dict[tuple[str, str], float] = {}
+
+        def walk(class_name: str, entry_name: str, visits: float, hidden: bool) -> None:
+            bucket = hid if hidden else vis
+            key = (class_name, entry_name)
+            bucket[key] = bucket.get(key, 0.0) + visits
+            entry = model.entry(entry_name)
+            for call in entry.calls:
+                child_hidden = hidden or call.kind is CallKind.ASYNCHRONOUS
+                walk(class_name, call.target_entry, visits * call.mean_calls, child_hidden)
+
+        for ref in classes:
+            for ref_entry in ref.entries:
+                # The reference entry's own demand is the client's local work
+                # (usually zero); its calls define one request cycle.
+                for call in ref_entry.calls:
+                    hidden = call.kind is CallKind.ASYNCHRONOUS
+                    walk(ref.name, call.target_entry, call.mean_calls, hidden)
+        return vis, hid
+
+    # -- network construction ---------------------------------------------------
+
+    def _holding_time_ms(self, model: LqnModel, entry_name: str) -> float:
+        """No-contention holding time of one entry invocation (ms):
+        raw scaled demand plus downstream synchronous holding times.
+
+        Asynchronous and forwarding calls do not extend the holding time:
+        the thread is released (forwarded work continues on the *client's*
+        response path but on the *callee's* thread, not the caller's).
+        """
+        entry = model.entry(entry_name)
+        owner = model.entry_owner(entry_name)
+        assert owner is not None
+        proc = model.processors[owner.processor]
+        total = entry.demand_ms / proc.speed
+        for call in entry.calls:
+            if call.kind is CallKind.SYNCHRONOUS:
+                total += call.mean_calls * self._holding_time_ms(model, call.target_entry)
+        return total
+
+    def _build_network(
+        self,
+        model: LqnModel,
+        classes: list[Task],
+        vis: dict[tuple[str, str], float],
+        hid: dict[tuple[str, str], float],
+    ) -> tuple[MvaInput, list[str], dict[str, int]]:
+        closed = [t for t in classes if not t.is_open_reference]
+        opened = [t for t in classes if t.is_open_reference]
+        class_names = [t.name for t in closed]
+        populations = [t.multiplicity for t in closed]
+        think_times = [t.think_time_ms for t in closed]
+
+        stations: list[Station] = []
+        station_names: list[str] = []
+        proc_index: dict[str, int] = {}
+        for proc in model.processors.values():
+            if proc.scheduling is Scheduling.DELAY:
+                kind = StationKind.DELAY
+            else:
+                kind = StationKind.QUEUE
+            proc_index[proc.name] = len(stations)
+            stations.append(Station(name=f"proc:{proc.name}", kind=kind, servers=proc.multiplicity))
+            station_names.append(f"proc:{proc.name}")
+
+        task_station_index: dict[str, int] = {}
+        server_tasks = model.server_tasks()
+        for task in server_tasks:
+            task_station_index[task.name] = len(stations)
+            stations.append(
+                Station(
+                    name=f"task:{task.name}",
+                    kind=StationKind.QUEUE,
+                    servers=task.multiplicity,
+                    waiting_only=True,
+                )
+            )
+            station_names.append(f"task:{task.name}")
+
+        C, K = len(class_names), len(stations)
+        demands = np.zeros((C, K))
+        hidden = np.zeros((C, K))
+
+        for c, cname in enumerate(class_names):
+            for task in model.tasks.values():
+                proc = model.processors[task.processor]
+                k = proc_index[proc.name]
+                for entry in task.entries:
+                    v = vis.get((cname, entry.name), 0.0)
+                    h = hid.get((cname, entry.name), 0.0)
+                    demands[c, k] += v * entry.demand_ms / proc.speed
+                    hidden[c, k] += h * entry.demand_ms / proc.speed
+                    # Second-phase work loads the processor off the response path.
+                    hidden[c, k] += (v + h) * entry.phase2_demand_ms / proc.speed
+
+            for task in server_tasks:
+                k = task_station_index[task.name]
+                for entry in task.entries:
+                    holding = self._holding_time_ms(model, entry.name)
+                    holding += entry.phase2_demand_ms / model.processors[task.processor].speed
+                    v = vis.get((cname, entry.name), 0.0)
+                    h = hid.get((cname, entry.name), 0.0)
+                    demands[c, k] += v * holding
+                    hidden[c, k] += h * holding
+
+        # Open workload sources load the processor stations per request;
+        # thread-pool (surrogate) waiting is not modelled for open traffic.
+        open_names = [t.name for t in opened]
+        open_rates = [t.open_arrival_rate_per_s / 1000.0 for t in opened]
+        open_demands = np.zeros((len(opened), K))
+        for o, task in enumerate(opened):
+            for server_task in model.tasks.values():
+                proc = model.processors[server_task.processor]
+                k = proc_index[proc.name]
+                for entry in server_task.entries:
+                    visits = vis.get((task.name, entry.name), 0.0) + hid.get(
+                        (task.name, entry.name), 0.0
+                    )
+                    open_demands[o, k] += (
+                        visits * (entry.demand_ms + entry.phase2_demand_ms) / proc.speed
+                    )
+
+        inp = MvaInput(
+            stations=stations,
+            class_names=class_names,
+            populations=populations,
+            think_times_ms=think_times,
+            demands=demands,
+            hidden_demands=hidden,
+            open_class_names=open_names,
+            open_rates_per_ms=open_rates,
+            open_demands=open_demands,
+        )
+        return inp, station_names, task_station_index
+
+    # -- iteration ---------------------------------------------------------------
+
+    def _iterate(self, inp: MvaInput):
+        """Bard–Schweitzer fixed point with the response-time stopping rule."""
+        from repro.lqn.mva import solve_bard_schweitzer
+
+        # Run the AMVA fixed point in stages, checking the response-time
+        # criterion between stages; this reproduces LQNS's "iterate until
+        # response times move < criterion" behaviour while the queue-length
+        # tolerance guards the fine-grained fixed point.
+        options = self.options
+        prev_response: np.ndarray | None = None
+        stage_iterations = 0
+        solution = None
+        # A loose criterion stops early (coarse, fast); a tight criterion
+        # runs the fixed point to queue_tol (accurate, slower).
+        for stage in range(1, 64):
+            stage_tol = max(options.queue_tol, 10.0 ** (-stage))
+            solution = solve_bard_schweitzer(
+                inp,
+                tol=stage_tol,
+                max_iterations=options.max_iterations,
+                damping=options.damping,
+            )
+            stage_iterations += solution.iterations
+            response = solution.cycle_response_ms
+            if response.size == 0:
+                # Pure-open model: the mixed-network reduction is closed form.
+                return solution, 0.0
+            if prev_response is not None:
+                residual = float(np.max(np.abs(response - prev_response)))
+                if residual < options.convergence_criterion_ms:
+                    solution.iterations = stage_iterations
+                    return solution, residual
+            prev_response = response.copy()
+            if stage_tol <= options.queue_tol:
+                solution.iterations = stage_iterations
+                return solution, 0.0
+        raise ConvergenceError(
+            "layered solver failed to converge", iterations=stage_iterations
+        )  # pragma: no cover - defensive
+
+    # -- packaging ----------------------------------------------------------------
+
+    def _package(
+        self,
+        model: LqnModel,
+        classes: list[Task],
+        vis: dict[tuple[str, str], float],
+        hid: dict[tuple[str, str], float],
+        inp: MvaInput,
+        solution_and_residual,
+        station_names: list[str],
+        task_station_index: dict[str, int],
+        elapsed_s: float,
+    ) -> LqnSolution:
+        solution, residual = solution_and_residual
+        response: dict[str, float] = {}
+        throughput: dict[str, float] = {}
+        residence: dict[tuple[str, str], float] = {}
+        closed = [t for t in classes if not t.is_open_reference]
+        for c, task in enumerate(closed):
+            response[task.name] = float(solution.cycle_response_ms[c])
+            throughput[task.name] = float(solution.throughput_per_ms[c] * 1000.0)
+            for proc_name in model.processors:
+                k = station_names.index(f"proc:{proc_name}")
+                residence[(task.name, proc_name)] = float(solution.residence_ms[c, k])
+        for task in classes:
+            if task.is_open_reference:
+                response[task.name] = float(solution.open_response_ms[task.name])
+                # An open class's throughput equals its (stable) arrival rate.
+                throughput[task.name] = task.open_arrival_rate_per_s
+
+        processor_util = {
+            proc_name: float(solution.utilisation[station_names.index(f"proc:{proc_name}")])
+            for proc_name in model.processors
+        }
+        task_concurrency = {
+            task_name: float(solution.queue_lengths[:, k].sum())
+            for task_name, k in task_station_index.items()
+        }
+        return LqnSolution(
+            response_ms=response,
+            throughput_req_per_s=throughput,
+            processor_utilisation=processor_util,
+            residence_ms=residence,
+            task_concurrency=task_concurrency,
+            iterations=solution.iterations,
+            solve_time_s=elapsed_s,
+            converged=True,
+            final_residual_ms=residual,
+        )

@@ -1,0 +1,97 @@
+"""The paper's predictive-accuracy metric.
+
+Accuracy of one prediction is ``1 − |predicted − actual| / actual`` (so 89.1 %
+means a mean relative error of 10.9 %).  Aggregation follows section 4.2:
+"The overall predictive accuracy is defined as the mean of the lower
+equation accuracy and the upper equation accuracy" — evaluation points are
+bucketed into the *lower* region (below 66 % of the max-throughput load) and
+the *upper* region (above 110 %), each region's accuracies are averaged, and
+the overall number is the mean of the two region means.  Points inside the
+transition band belong to neither equation and are excluded, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.historical.relationships import (
+    TRANSITION_LOWER_FRACTION,
+    TRANSITION_UPPER_FRACTION,
+)
+from repro.util.errors import ValidationError
+from repro.util.validation import check_positive
+
+__all__ = ["accuracy", "mean_accuracy", "region_of", "paper_overall_accuracy", "AccuracyReport"]
+
+
+def accuracy(predicted: float, actual: float) -> float:
+    """``1 − |predicted − actual| / actual``; can be negative for very bad
+    predictions (as in the paper's figure 3 discussion)."""
+    check_positive(actual, "actual")
+    return 1.0 - abs(predicted - actual) / actual
+
+
+def mean_accuracy(pairs: list[tuple[float, float]]) -> float:
+    """Mean accuracy over ``(predicted, actual)`` pairs."""
+    if not pairs:
+        raise ValidationError("mean_accuracy needs at least one pair")
+    return float(np.mean([accuracy(p, a) for p, a in pairs]))
+
+
+def region_of(n_clients: float, n_at_max: float) -> str:
+    """Which relationship-1 region a load falls in: lower / transition / upper."""
+    check_positive(n_at_max, "n_at_max")
+    if n_clients < TRANSITION_LOWER_FRACTION * n_at_max:
+        return "lower"
+    if n_clients > TRANSITION_UPPER_FRACTION * n_at_max:
+        return "upper"
+    return "transition"
+
+
+@dataclass
+class AccuracyReport:
+    """Accuracy bookkeeping for one (method, server) evaluation."""
+
+    method: str
+    server: str
+    lower_pairs: list[tuple[float, float]] = field(default_factory=list)
+    upper_pairs: list[tuple[float, float]] = field(default_factory=list)
+    transition_pairs: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, n_clients: float, n_at_max: float, predicted: float, actual: float) -> None:
+        """Record one evaluation point in its region bucket."""
+        region = region_of(n_clients, n_at_max)
+        bucket = {
+            "lower": self.lower_pairs,
+            "upper": self.upper_pairs,
+            "transition": self.transition_pairs,
+        }[region]
+        bucket.append((predicted, actual))
+
+    @property
+    def lower_accuracy(self) -> float:
+        """Mean accuracy in the lower (pre-saturation) region."""
+        return mean_accuracy(self.lower_pairs)
+
+    @property
+    def upper_accuracy(self) -> float:
+        """Mean accuracy in the upper (post-saturation) region."""
+        return mean_accuracy(self.upper_pairs)
+
+    @property
+    def overall_accuracy(self) -> float:
+        """The paper's overall metric: mean of the two region accuracies."""
+        return paper_overall_accuracy(self.lower_accuracy, self.upper_accuracy)
+
+    def all_points_accuracy(self) -> float:
+        """Plain mean over every point including the transition region —
+        reported alongside the paper metric for completeness."""
+        return mean_accuracy(self.lower_pairs + self.upper_pairs + self.transition_pairs)
+
+
+def paper_overall_accuracy(lower_accuracy: float, upper_accuracy: float) -> float:
+    """Mean of the lower- and upper-equation accuracies (section 4.2)."""
+    return 0.5 * (lower_accuracy + upper_accuracy)

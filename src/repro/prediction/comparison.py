@@ -1,0 +1,159 @@
+"""The section-8 method evaluation, as structured data.
+
+The paper evaluates the three methods against five criteria.  Most are
+qualitative findings grounded in the quantitative experiments; this module
+captures them as :class:`MethodProfile` records (so tools and the README
+can render the comparison) and provides :func:`evaluation_matrix` to merge
+in measured quantities (accuracies, delays, start-up costs) from a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MethodProfile", "METHOD_PROFILES", "MeasuredQuantities", "evaluation_matrix"]
+
+
+@dataclass(frozen=True)
+class MethodProfile:
+    """Qualitative section-8 findings for one method."""
+
+    name: str
+    systems_modellable: str
+    metrics_predictable: str
+    ease_of_creation: str
+    recalibration_overhead: str
+    prediction_delay: str
+    can_model_caching: bool
+    can_predict_percentiles_directly: bool
+    can_predict_transient_state: bool
+    capacity_query: str  # how "max clients under SLA" is answered
+
+
+METHOD_PROFILES: dict[str, MethodProfile] = {
+    "historical": MethodProfile(
+        name="historical",
+        systems_modellable=(
+            "Any system whose behaviour can be recorded as variables — "
+            "including caching effects and implicit queues/bottlenecks "
+            "(section 8.1)."
+        ),
+        metrics_predictable=(
+            "Any recordable metric: means, percentiles directly, and "
+            "time-to-steady-state (section 8.2)."
+        ),
+        ease_of_creation=(
+            "Hardest: the analyst must specify and validate how predictions "
+            "are made, even with HYDRA's tooling (section 8.3)."
+        ),
+        recalibration_overhead=(
+            "Low data needs (2 points per equation, 50 samples per point) "
+            "but requires data at both small and large workloads and at "
+            "least two established servers (sections 8.3-8.4)."
+        ),
+        prediction_delay="Almost instantaneous (closed-form equations).",
+        can_model_caching=True,
+        can_predict_percentiles_directly=True,
+        can_predict_transient_state=True,
+        capacity_query="Closed form: invert equations 1-2 for the client count.",
+    ),
+    "layered_queuing": MethodProfile(
+        name="layered_queuing",
+        systems_modellable=(
+            "Systems expressible as a layered queuing network (open/closed/"
+            "mixed, FIFO/priority, sync/async/forwarding, second phases); "
+            "caching with non-independent requests is not expressible "
+            "(section 7.2), and implicit queues need extra profiling."
+        ),
+        metrics_predictable=(
+            "Fixed solver outputs: steady-state mean response times, "
+            "throughputs and utilisations only (section 8.2)."
+        ),
+        ease_of_creation=(
+            "Easiest: the model is just the queuing-network configuration; "
+            "calibration needs only a small workload and one server "
+            "(section 8.3)."
+        ),
+        recalibration_overhead=(
+            "Requires dedicated access to a server and configuration "
+            "information, but only one application server (section 8.4)."
+        ),
+        prediction_delay=(
+            "Significant CPU per prediction (iterative numerical solution); "
+            "capacity questions multiply it by a search (section 8.5)."
+        ),
+        can_model_caching=False,
+        can_predict_percentiles_directly=False,
+        can_predict_transient_state=False,
+        capacity_query="Search over client counts, one solve per probe.",
+    ),
+    "hybrid": MethodProfile(
+        name="hybrid",
+        systems_modellable=(
+            "Whatever the layered queuing component can generate data for — "
+            "inherits the layered method's caching limitation."
+        ),
+        metrics_predictable=(
+            "Mean response times and throughputs; percentiles only by "
+            "distribution extrapolation (section 7.1)."
+        ),
+        ease_of_creation=(
+            "Needs expertise in both model types, but calibrating/validating "
+            "the historical component is easier because its data is "
+            "generated, not collected (section 8.3)."
+        ),
+        recalibration_overhead=(
+            "Historical data regeneration is fast (a few layered solves); "
+            "layered recalibration needs a dedicated server (section 8.4)."
+        ),
+        prediction_delay=(
+            "One-off start-up delay per new architecture (11 s in the paper) "
+            "to generate data, then almost instantaneous (section 8.5)."
+        ),
+        can_model_caching=False,
+        can_predict_percentiles_directly=False,
+        can_predict_transient_state=False,
+        capacity_query="Closed form after start-up (historical equations).",
+    ),
+}
+
+
+@dataclass
+class MeasuredQuantities:
+    """Measured per-method numbers to merge into the comparison."""
+
+    mrt_accuracy_established: float | None = None
+    mrt_accuracy_new: float | None = None
+    throughput_accuracy: float | None = None
+    mean_prediction_delay_s: float | None = None
+    startup_delay_s: float | None = None
+
+
+def evaluation_matrix(
+    measured: dict[str, "MeasuredQuantities"] | None = None,
+) -> list[dict[str, object]]:
+    """Rows (one per method) combining the qualitative profile with any
+    measured quantities — the data behind the section-8 discussion."""
+    rows: list[dict[str, object]] = []
+    measured = measured or {}
+    for name, profile in METHOD_PROFILES.items():
+        quantities = measured.get(name, MeasuredQuantities())
+        rows.append(
+            {
+                "method": name,
+                "systems": profile.systems_modellable,
+                "metrics": profile.metrics_predictable,
+                "ease": profile.ease_of_creation,
+                "recalibration": profile.recalibration_overhead,
+                "delay": profile.prediction_delay,
+                "caching": profile.can_model_caching,
+                "percentiles_directly": profile.can_predict_percentiles_directly,
+                "capacity_query": profile.capacity_query,
+                "mrt_accuracy_established": quantities.mrt_accuracy_established,
+                "mrt_accuracy_new": quantities.mrt_accuracy_new,
+                "throughput_accuracy": quantities.throughput_accuracy,
+                "mean_prediction_delay_s": quantities.mean_prediction_delay_s,
+                "startup_delay_s": quantities.startup_delay_s,
+            }
+        )
+    return rows

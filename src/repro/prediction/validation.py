@@ -1,0 +1,118 @@
+"""Calibration quality diagnostics.
+
+A workload manager acting on predictions should know how trustworthy its
+calibration is *before* allocating servers with it.  This module inspects a
+calibrated :class:`~repro.historical.model.HistoricalModel` and reports:
+
+* **relationship-2 self-consistency** — re-predict each *established*
+  server's relationship-1 parameters from its max throughput through the
+  fitted scaling functions and compare with the directly-fitted values
+  (large residuals mean the scaling forms don't describe this server family
+  and new-architecture extrapolations are suspect);
+* **throughput-model residuals** — how far the linear-ramp/plateau model
+  sits from the calibration data;
+* **structural warnings** — non-physical parameters (negative λ_L growth,
+  upper equation flatter than the ramp bound, transition wider than the
+  data supports).
+
+The output is a plain report object the resource manager (or an operator)
+can gate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.historical.model import HistoricalModel
+from repro.util.errors import CalibrationError
+
+__all__ = ["CalibrationDiagnostics", "diagnose_historical_model"]
+
+# Residual (relative) beyond which a relationship-2 re-prediction is flagged.
+_CONSISTENCY_WARN = 0.25
+
+
+@dataclass
+class CalibrationDiagnostics:
+    """The QA report for one calibrated historical model."""
+
+    # server -> relative residual of relationship-2 re-predicted c_L / λ_L
+    c_l_residuals: dict[str, float] = field(default_factory=dict)
+    lambda_l_residuals: dict[str, float] = field(default_factory=dict)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def max_residual(self) -> float:
+        """Worst relative self-consistency residual across parameters."""
+        values = list(self.c_l_residuals.values()) + list(self.lambda_l_residuals.values())
+        return max(values) if values else 0.0
+
+    @property
+    def healthy(self) -> bool:
+        """Whether the calibration passes every check."""
+        return not self.warnings and self.max_residual <= _CONSISTENCY_WARN
+
+
+def diagnose_historical_model(model: HistoricalModel) -> CalibrationDiagnostics:
+    """Run the QA checks against a calibrated model."""
+    diagnostics = CalibrationDiagnostics()
+
+    if model.scaling is None:
+        diagnostics.warnings.append(
+            "relationship 2 not calibrated (fewer than 2 established servers): "
+            "new-architecture predictions are unavailable"
+        )
+    else:
+        for server, calibration in model.server_calibrations.items():
+            mx = calibration.max_throughput_req_per_s
+            predicted_c_l = model.scaling.predict_c_l(mx)
+            predicted_lam = model.scaling.predict_lambda_l(mx)
+            if calibration.lower.c_l > 0:
+                diagnostics.c_l_residuals[server] = abs(
+                    predicted_c_l - calibration.lower.c_l
+                ) / calibration.lower.c_l
+            if calibration.lower.lambda_l > 0:
+                diagnostics.lambda_l_residuals[server] = abs(
+                    predicted_lam - calibration.lower.lambda_l
+                ) / calibration.lower.lambda_l
+
+    for server, calibration in model.server_calibrations.items():
+        if calibration.lower.lambda_l <= 0:
+            diagnostics.warnings.append(
+                f"{server}: lower equation does not grow with load "
+                f"(λ_L={calibration.lower.lambda_l:.2e}); calibration data "
+                "probably spans too narrow a load range"
+            )
+        if calibration.upper.lambda_u <= 0:
+            diagnostics.warnings.append(
+                f"{server}: upper equation slope is non-positive "
+                f"(λ_U={calibration.upper.lambda_u:.2e}); post-saturation "
+                "data points look inverted"
+            )
+        else:
+            # Past saturation, response grows at >= 1000/mx ms per client
+            # (each extra client adds at least a full service time of queue).
+            bound = 1000.0 / calibration.max_throughput_req_per_s
+            if calibration.upper.lambda_u < 0.25 * bound:
+                diagnostics.warnings.append(
+                    f"{server}: upper slope {calibration.upper.lambda_u:.3f} "
+                    f"ms/client is implausibly flat (queueing bound ~{bound:.3f})"
+                )
+
+    try:
+        gradient = model.throughput_model.gradient
+    except AttributeError:  # pragma: no cover - defensive
+        raise CalibrationError("model has no throughput relationship")
+    if not 0.0 < gradient < 10.0:
+        diagnostics.warnings.append(
+            f"throughput gradient m={gradient!r} outside any plausible "
+            "think-time regime"
+        )
+
+    if diagnostics.max_residual > _CONSISTENCY_WARN:
+        diagnostics.warnings.append(
+            "relationship 2 does not reproduce the established servers' own "
+            f"parameters (worst residual {100 * diagnostics.max_residual:.0f}%); "
+            "new-architecture extrapolations are unreliable"
+        )
+    return diagnostics

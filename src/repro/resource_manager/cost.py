@@ -1,0 +1,94 @@
+"""Cost functions over the slack trade-off — the paper's "current work".
+
+Section 9.1 closes with: "Current work is investigating cost functions and
+how they can map SLA failure and server usage metrics to their associated
+costs.  Given such functions the y-axis of figure 7 could become a single
+cost axis by subtracting the cost saving due to the server usage saving from
+the cost due to the SLA failures.  Slack setting(s) with the lowest cost
+could then be determined."
+
+This module implements exactly that:
+
+* :class:`ProviderCostModel` maps the two section-9 metrics to money — a
+  penalty per percentage point of SLA failures (SLA penalty clauses) and a
+  cost per percentage point of server usage (buying/renting hardware),
+  optionally with a fixed penalty surcharge once *any* failures occur
+  (real SLAs often have a breach floor);
+* :func:`cost_curve` converts a :class:`~repro.resource_manager.slack.
+  SlackAnalysis` into the single-axis cost curve;
+* :func:`optimal_slack` returns the lowest-cost slack setting(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resource_manager.slack import SlackAnalysis
+from repro.util.errors import ValidationError
+from repro.util.validation import check_non_negative
+
+__all__ = ["ProviderCostModel", "cost_curve", "optimal_slack"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProviderCostModel:
+    """Maps the section-9 cost metrics to a single monetary scale.
+
+    Units are arbitrary (per hour, per month — whatever the provider bills
+    in); only the *ratio* between the two rates shapes the optimum.
+    """
+
+    sla_penalty_per_failure_pct: float
+    server_cost_per_usage_pct: float
+    breach_surcharge: float = 0.0  # flat extra cost if failures exceed 0%
+    breach_threshold_pct: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.sla_penalty_per_failure_pct, "sla_penalty_per_failure_pct")
+        check_non_negative(self.server_cost_per_usage_pct, "server_cost_per_usage_pct")
+        check_non_negative(self.breach_surcharge, "breach_surcharge")
+        check_non_negative(self.breach_threshold_pct, "breach_threshold_pct")
+
+    def cost(self, sla_failure_pct: float, server_usage_pct: float) -> float:
+        """Total cost of operating at these two metric values."""
+        total = (
+            self.sla_penalty_per_failure_pct * sla_failure_pct
+            + self.server_cost_per_usage_pct * server_usage_pct
+        )
+        if sla_failure_pct > self.breach_threshold_pct:
+            total += self.breach_surcharge
+        return total
+
+
+def cost_curve(
+    analysis: SlackAnalysis, model: ProviderCostModel
+) -> list[tuple[float, float]]:
+    """(slack, total cost) rows, sorted by decreasing slack.
+
+    Uses each slack level's average metrics over the analysis's fixed
+    reference-load subset — the figure-7 aggregation with the two y-axes
+    collapsed into one.
+    """
+    if not analysis.sweeps:
+        raise ValidationError("analysis contains no slack sweeps")
+    rows: list[tuple[float, float]] = []
+    for slack in sorted(analysis.sweeps, reverse=True):
+        failures, usage = analysis.sweeps[slack].average_over_loads(
+            analysis.reference_loads
+        )
+        rows.append((slack, model.cost(failures, usage)))
+    return rows
+
+
+def optimal_slack(
+    analysis: SlackAnalysis, model: ProviderCostModel, *, tolerance: float = 1e-9
+) -> tuple[list[float], float]:
+    """The slack setting(s) with the lowest total cost.
+
+    Returns ``(slacks, cost)``; several settings tie when the curve is flat
+    around the optimum (hence the plural in the paper's "slack setting(s)").
+    """
+    curve = cost_curve(analysis, model)
+    best = min(cost for _, cost in curve)
+    winners = [slack for slack, cost in curve if cost <= best + tolerance]
+    return winners, best

@@ -1,0 +1,157 @@
+"""Workload-manager routing policies.
+
+Figure 1's workload manager "routs the incoming requests to the available
+servers whilst meeting these goals", and Algorithm 1's output is explicitly
+"an initial division of the workload across the servers obtained (which
+could then be modified by a workload manager)".  This module provides that
+modification step: policies that split a client population across the
+servers an allocation engaged.
+
+All policies are *prediction-enhanced*: they use a
+:class:`~repro.prediction.interface.Predictor` rather than runtime feedback,
+matching the paper's architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.prediction.interface import Predictor
+from repro.resource_manager.allocation import ManagedServer
+from repro.util.errors import ValidationError
+from repro.util.validation import check_non_negative_int, require
+
+__all__ = [
+    "RoutingDecision",
+    "route_proportional_to_capacity",
+    "route_equal_response_times",
+    "route_round_robin",
+]
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """How one class's clients are divided across servers."""
+
+    per_server: dict[str, int]
+    predicted_mrt_ms: dict[str, float]
+
+    @property
+    def total(self) -> int:
+        """Clients placed across all servers."""
+        return sum(self.per_server.values())
+
+    def worst_predicted_mrt_ms(self) -> float:
+        """The slowest server's predicted response time under this split."""
+        used = [
+            self.predicted_mrt_ms[s] for s, n in self.per_server.items() if n > 0
+        ]
+        return max(used) if used else 0.0
+
+
+def _distribute(total: int, weights: dict[str, float]) -> dict[str, int]:
+    """Largest-remainder apportionment of ``total`` by ``weights``."""
+    weight_sum = sum(weights.values())
+    if weight_sum <= 0:
+        raise ValidationError("weights must sum to a positive value")
+    shares = {s: total * w / weight_sum for s, w in weights.items()}
+    floors = {s: int(share) for s, share in shares.items()}
+    remainder = total - sum(floors.values())
+    by_fraction = sorted(shares, key=lambda s: shares[s] - floors[s], reverse=True)
+    for server in by_fraction[:remainder]:
+        floors[server] += 1
+    return floors
+
+
+def _predictions(
+    split: dict[str, int], servers: dict[str, ManagedServer], predictor: Predictor
+) -> dict[str, float]:
+    return {
+        name: predictor.predict_mrt_ms(servers[name].architecture, count)
+        if count > 0
+        else 0.0
+        for name, count in split.items()
+    }
+
+
+def route_proportional_to_capacity(
+    n_clients: int,
+    servers: list[ManagedServer],
+    predictor: Predictor,
+) -> RoutingDecision:
+    """Split clients in proportion to each server's processing power.
+
+    The natural static policy: a server with twice the max throughput gets
+    twice the clients, so (to first order) every server sits at the same
+    fraction of its max-throughput load.
+    """
+    check_non_negative_int(n_clients, "n_clients")
+    require(len(servers) > 0, "need at least one server")
+    weights = {s.name: s.max_throughput_req_per_s for s in servers}
+    split = _distribute(n_clients, weights)
+    return RoutingDecision(
+        per_server=split,
+        predicted_mrt_ms=_predictions(split, {s.name: s for s in servers}, predictor),
+    )
+
+
+def route_round_robin(
+    n_clients: int,
+    servers: list[ManagedServer],
+    predictor: Predictor,
+) -> RoutingDecision:
+    """Split clients evenly, ignoring server speeds (the naive baseline)."""
+    check_non_negative_int(n_clients, "n_clients")
+    require(len(servers) > 0, "need at least one server")
+    weights = {s.name: 1.0 for s in servers}
+    split = _distribute(n_clients, weights)
+    return RoutingDecision(
+        per_server=split,
+        predicted_mrt_ms=_predictions(split, {s.name: s for s in servers}, predictor),
+    )
+
+
+def route_equal_response_times(
+    n_clients: int,
+    servers: list[ManagedServer],
+    predictor: Predictor,
+    *,
+    iterations: int = 40,
+) -> RoutingDecision:
+    """Split clients so every server's *predicted* response time matches.
+
+    Capacity-proportional routing equalises utilisation but not response
+    times when architectures have different base latencies; this policy
+    iteratively moves clients from the slowest-predicted server to the
+    fastest until the predictions balance — the prediction-enhanced routing
+    the paper's system model motivates.
+    """
+    check_non_negative_int(n_clients, "n_clients")
+    require(len(servers) > 0, "need at least one server")
+    by_name = {s.name: s for s in servers}
+    split = route_proportional_to_capacity(n_clients, servers, predictor).per_server
+    step = max(1, n_clients // 50)
+    for _ in range(iterations):
+        predictions = _predictions(split, by_name, predictor)
+        loaded = {s: predictions[s] for s in split if split[s] > 0}
+        if not loaded:
+            break
+        slowest = max(loaded, key=loaded.get)
+        fastest = min(predictions, key=predictions.get)
+        if slowest == fastest:
+            break
+        move = min(step, split[slowest])
+        # Would moving help? Predict the post-move extremes.
+        trial_slow = predictor.predict_mrt_ms(
+            by_name[slowest].architecture, split[slowest] - move
+        )
+        trial_fast = predictor.predict_mrt_ms(
+            by_name[fastest].architecture, split[fastest] + move
+        )
+        if max(trial_slow, trial_fast) >= loaded[slowest]:
+            break  # converged: moving no longer reduces the worst case
+        split[slowest] -= move
+        split[fastest] += move
+    return RoutingDecision(
+        per_server=split, predicted_mrt_ms=_predictions(split, by_name, predictor)
+    )

@@ -1,0 +1,53 @@
+"""Service-level agreements for the resource manager.
+
+A :class:`ClassWorkload` is a service class's slice of the workload to be
+transferred to the provider: a client count, an SLA mean-response-time goal,
+and whether its requests are buy-type (heavier, affecting the mix-adjusted
+predictions through relationship 3).
+
+Class-specific response times deviate from the workload mean because of "the
+number and complexity of database requests made" (section 4.3); the paper
+extrapolates that deviation, which this module captures as a demand-ratio
+factor: a class whose requests carry twice the mean demand sees roughly
+twice the mean response time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_fraction, check_non_negative_int, check_positive
+from repro.workload.trade import BROWSE_CLASS, BUY_CLASS
+
+__all__ = ["ClassWorkload", "class_rt_factor"]
+
+_BROWSE_DEMAND = BROWSE_CLASS.mean_total_demand_ms()
+_BUY_DEMAND = BUY_CLASS.mean_total_demand_ms()
+
+
+@dataclass(frozen=True, slots=True)
+class ClassWorkload:
+    """One service class's demand on the provider."""
+
+    name: str
+    n_clients: int
+    rt_goal_ms: float
+    is_buy: bool = False
+
+    def __post_init__(self) -> None:
+        check_non_negative_int(self.n_clients, "n_clients")
+        check_positive(self.rt_goal_ms, "rt_goal_ms")
+
+
+def class_rt_factor(is_buy: bool, buy_fraction: float) -> float:
+    """Ratio of a class's expected response time to the workload mean.
+
+    Derived from per-request demand ratios of the Trade classes: in a
+    workload with ``buy_fraction`` buy requests, the mean per-request demand
+    is the mix of browse and buy demands, and a class's responses scale with
+    its own demand relative to that mean.
+    """
+    check_fraction(buy_fraction, "buy_fraction")
+    mean_demand = (1.0 - buy_fraction) * _BROWSE_DEMAND + buy_fraction * _BUY_DEMAND
+    own = _BUY_DEMAND if is_buy else _BROWSE_DEMAND
+    return own / mean_demand

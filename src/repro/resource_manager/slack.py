@@ -1,0 +1,196 @@
+"""Slack tuning: balancing SLA-failure and server-usage costs.
+
+Section 9.1 of the paper sweeps the workload level and the slack parameter,
+measuring two cost metrics:
+
+* **% SLA failures** — percentage of clients rejected from the servers;
+* **% server usage** — processing power (sum of max throughputs) of the
+  servers used, as a percentage of the pool's total.
+
+Derived quantities reproduce figures 5–8:
+
+* per-load curves of both metrics at fixed slack levels (figures 5 and 6);
+* ``SU_max`` — the % server usage at the minimum slack achieving 0 % SLA
+  failures before 100 % usage (62.7 % at slack 1.1 in the paper);
+* ``% server usage saving = SU_max − % server usage`` and its average (with
+  average % SLA failures) across loads prior to 100 % usage, as slack falls
+  from 1.1 to 0 (figures 7 and 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.prediction.interface import Predictor
+from repro.resource_manager.allocation import ManagedServer, allocate
+from repro.resource_manager.runtime import evaluate_runtime
+from repro.resource_manager.sla import ClassWorkload
+from repro.util.validation import check_fraction, require
+
+__all__ = ["LoadPointMetrics", "SlackSweepResult", "SlackAnalysis", "sweep_loads"]
+
+
+@dataclass(frozen=True, slots=True)
+class LoadPointMetrics:
+    """Both cost metrics at one (total load, slack) combination."""
+
+    total_clients: int
+    slack: float
+    sla_failure_pct: float
+    server_usage_pct: float
+
+
+@dataclass
+class SlackSweepResult:
+    """Fig-5/6 data: per-load metric curves at one slack level."""
+
+    slack: float
+    points: list[LoadPointMetrics] = field(default_factory=list)
+
+    def loads(self) -> list[int]:
+        """Total-client x-axis."""
+        return [p.total_clients for p in self.points]
+
+    def sla_failure_series(self) -> list[float]:
+        """% SLA failures per load (figure 5's y-axis)."""
+        return [p.sla_failure_pct for p in self.points]
+
+    def server_usage_series(self) -> list[float]:
+        """% server usage per load (figure 6's y-axis)."""
+        return [p.server_usage_pct for p in self.points]
+
+    def average_before_full_usage(self) -> tuple[float, float]:
+        """(avg % SLA failures, avg % server usage) across loads prior to
+        100 % server usage — the aggregation figures 7 and 8 use."""
+        selected = [p for p in self.points if p.server_usage_pct < 100.0]
+        if not selected:
+            selected = self.points
+        return (
+            float(np.mean([p.sla_failure_pct for p in selected])),
+            float(np.mean([p.server_usage_pct for p in selected])),
+        )
+
+    def average_over_loads(self, loads: list[int]) -> tuple[float, float]:
+        """(avg % SLA failures, avg % server usage) over a fixed load subset.
+
+        Comparing slack levels requires averaging every level over the *same*
+        loads; the subset comes from the zero-failure reference sweep.
+        """
+        wanted = set(loads)
+        selected = [p for p in self.points if p.total_clients in wanted]
+        if not selected:
+            selected = self.points
+        return (
+            float(np.mean([p.sla_failure_pct for p in selected])),
+            float(np.mean([p.server_usage_pct for p in selected])),
+        )
+
+
+def sweep_loads(
+    loads: list[int],
+    slack: float,
+    *,
+    workload_for: "callable[[int], list[ClassWorkload]]",
+    servers: list[ManagedServer],
+    predictor: Predictor,
+    ground_truth: Predictor,
+    rejection_threshold: float = 0.05,
+) -> SlackSweepResult:
+    """Run the allocator + runtime evaluation across ``loads`` at one slack."""
+    require(len(loads) > 0, "need at least one load point")
+    result = SlackSweepResult(slack=slack)
+    for total in loads:
+        classes = workload_for(total)
+        allocation = allocate(classes, servers, predictor, slack=slack)
+        outcome = evaluate_runtime(
+            allocation,
+            classes,
+            servers,
+            ground_truth,
+            rejection_threshold=rejection_threshold,
+        )
+        result.points.append(
+            LoadPointMetrics(
+                total_clients=total,
+                slack=slack,
+                sla_failure_pct=outcome.sla_failure_pct,
+                server_usage_pct=outcome.server_usage_pct,
+            )
+        )
+    return result
+
+
+@dataclass
+class SlackAnalysis:
+    """Fig-7/8 data: averaged cost metrics as slack varies."""
+
+    sweeps: dict[float, SlackSweepResult] = field(default_factory=dict)
+    su_max_pct: float = float("nan")
+    min_zero_failure_slack: float = float("nan")
+    reference_loads: list[int] = field(default_factory=list)
+
+    @classmethod
+    def run(
+        cls,
+        slacks: list[float],
+        loads: list[int],
+        *,
+        workload_for: "callable[[int], list[ClassWorkload]]",
+        servers: list[ManagedServer],
+        predictor: Predictor,
+        ground_truth: Predictor,
+        rejection_threshold: float = 0.05,
+        zero_failure_tolerance_pct: float = 0.0,
+    ) -> "SlackAnalysis":
+        """Sweep every slack level over every load and derive SU_max.
+
+        ``SU_max`` is taken at the smallest swept slack whose average % SLA
+        failures (before 100 % usage) is within ``zero_failure_tolerance_pct``
+        of zero, matching the paper's "minimum slack that results in 0 % SLA
+        failures before 100 % server usage".
+        """
+        check_fraction(rejection_threshold, "rejection_threshold")
+        analysis = cls()
+        for slack in sorted(set(slacks)):
+            analysis.sweeps[slack] = sweep_loads(
+                loads,
+                slack,
+                workload_for=workload_for,
+                servers=servers,
+                predictor=predictor,
+                ground_truth=ground_truth,
+                rejection_threshold=rejection_threshold,
+            )
+        zero_failure = [
+            slack
+            for slack, sweep in analysis.sweeps.items()
+            if sweep.average_before_full_usage()[0] <= zero_failure_tolerance_pct
+        ]
+        if zero_failure:
+            analysis.min_zero_failure_slack = min(zero_failure)
+            reference = analysis.sweeps[analysis.min_zero_failure_slack]
+            # All slack levels are averaged over the loads at which the
+            # reference (minimum zero-failure) sweep stays below 100% usage,
+            # so the figure-7 series compare like with like.
+            analysis.reference_loads = [
+                p.total_clients for p in reference.points if p.server_usage_pct < 100.0
+            ]
+            if not analysis.reference_loads:
+                analysis.reference_loads = [p.total_clients for p in reference.points]
+            analysis.su_max_pct = reference.average_over_loads(analysis.reference_loads)[1]
+        else:
+            any_sweep = next(iter(analysis.sweeps.values()))
+            analysis.reference_loads = [p.total_clients for p in any_sweep.points]
+        return analysis
+
+    def tradeoff_series(self) -> list[tuple[float, float, float]]:
+        """Rows of (slack, avg % SLA failures, avg % server usage saving)
+        sorted by decreasing slack — figure 7's two series."""
+        rows = []
+        for slack in sorted(self.sweeps, reverse=True):
+            failures, usage = self.sweeps[slack].average_over_loads(self.reference_loads)
+            saving = self.su_max_pct - usage if self.su_max_pct == self.su_max_pct else float("nan")
+            rows.append((slack, failures, saving))
+        return rows

@@ -1,0 +1,43 @@
+"""Server architecture catalogue and benchmarking.
+
+The case study (section 3.2 of the paper) uses three application-server
+architectures — a new "slow" server and two established ones:
+
+========== ==================== ============ ======================
+name       hardware (paper)     heap         max throughput (paper)
+========== ==================== ============ ======================
+AppServS   P3 450 MHz, 128 MB   128 MB heap  86 req/s
+AppServF   P4 1.8 GHz, 256 MB   256 MB heap  186 req/s
+AppServVF  P4 2.66 GHz, 256 MB  256 MB heap  320 req/s
+========== ==================== ============ ======================
+
+plus a database host (Athlon 1.4 GHz, 512 MB, DB2 7.2).  In this
+reproduction the hardware is replaced by relative CPU speed factors chosen so
+the simulated max throughputs under the typical workload match the paper's
+measurements.
+"""
+
+from repro.servers.architecture import ServerArchitecture, DatabaseArchitecture
+from repro.servers.catalogue import (
+    APP_SERV_S,
+    APP_SERV_F,
+    APP_SERV_VF,
+    DB_SERVER,
+    ALL_APP_SERVERS,
+    ESTABLISHED_SERVERS,
+    NEW_SERVERS,
+    architecture,
+)
+
+__all__ = [
+    "ServerArchitecture",
+    "DatabaseArchitecture",
+    "APP_SERV_S",
+    "APP_SERV_F",
+    "APP_SERV_VF",
+    "DB_SERVER",
+    "ALL_APP_SERVERS",
+    "ESTABLISHED_SERVERS",
+    "NEW_SERVERS",
+    "architecture",
+]

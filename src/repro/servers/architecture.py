@@ -1,0 +1,99 @@
+"""Server architecture descriptions.
+
+An architecture is the static description of a machine class: its relative
+CPU speed, memory, and concurrency limit.  Concrete deployments (simulated
+or modelled) are built from architectures.
+
+Speeds are **relative to the established AppServF server** (speed 1.0), which
+is also the reference machine on which the layered queuing model is
+calibrated in the paper (table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["ServerArchitecture", "DatabaseArchitecture"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerArchitecture:
+    """An application-server machine class.
+
+    Parameters
+    ----------
+    name:
+        Unique architecture name (e.g. ``"AppServF"``).
+    cpu_speed:
+        CPU speed relative to the reference architecture.  A request with
+        demand *d* ms at reference speed takes *d / cpu_speed* ms of CPU
+        here.
+    heap_mb:
+        JVM heap size — the session-cache capacity for the caching study
+        (section 7.2).  The paper's AppServS has a smaller 128 MB heap "due
+        to limited memory".
+    cores:
+        CPU cores; the paper's machines are single-core P3/P4s, but the
+        model generalises (the layered model maps cores to processor
+        multiplicity, the simulator to parallel service capacity).
+    max_concurrency:
+        Requests the server time-shares simultaneously (50 in the paper).
+    established:
+        Whether historical data already exists for this architecture.  The
+        paper's historical method calibrates on established servers and
+        predicts *new* ones.
+    """
+
+    name: str
+    cpu_speed: float
+    heap_mb: int = 256
+    max_concurrency: int = 50
+    established: bool = True
+    cores: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive(self.cpu_speed, "cpu_speed")
+        check_positive_int(self.heap_mb, "heap_mb")
+        check_positive_int(self.max_concurrency, "max_concurrency")
+        check_positive_int(self.cores, "cores")
+
+    def scaled_demand_ms(self, reference_demand_ms: float) -> float:
+        """Wall-clock CPU time here for a reference-speed demand (ms)."""
+        return reference_demand_ms / self.cpu_speed
+
+    def heap_bytes(self) -> int:
+        """Heap capacity in bytes."""
+        return self.heap_mb * 1024 * 1024
+
+    def as_new(self) -> "ServerArchitecture":
+        """A copy flagged as a *new* (not yet established) architecture."""
+        return ServerArchitecture(
+            name=self.name,
+            cpu_speed=self.cpu_speed,
+            heap_mb=self.heap_mb,
+            max_concurrency=self.max_concurrency,
+            established=False,
+            cores=self.cores,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DatabaseArchitecture:
+    """The (single) database server machine class.
+
+    The database host is shared by all application servers of an
+    application; its CPU time-shares up to ``max_concurrency`` requests and
+    its disk serves one request at a time.
+    """
+
+    name: str
+    cpu_speed: float
+    max_concurrency: int = 20
+    disk_speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.cpu_speed, "cpu_speed")
+        check_positive_int(self.max_concurrency, "max_concurrency")
+        check_positive(self.disk_speed, "disk_speed")

@@ -1,0 +1,84 @@
+"""The case study's concrete server architectures (section 3.2).
+
+CPU speed factors are derived from the paper's measured max throughputs
+under the typical workload — 86, 186 and 320 req/s for AppServS, AppServF
+and AppServVF respectively — relative to the AppServF reference:
+
+* ``AppServS.cpu_speed  = 86 / 186``
+* ``AppServF.cpu_speed  = 1.0``
+* ``AppServVF.cpu_speed = 320 / 186``
+
+AppServS plays the role of the *new* server architecture (no historical
+data); AppServF and AppServVF are *established*.
+"""
+
+from __future__ import annotations
+
+from repro.servers.architecture import DatabaseArchitecture, ServerArchitecture
+
+__all__ = [
+    "APP_SERV_S",
+    "APP_SERV_F",
+    "APP_SERV_VF",
+    "DB_SERVER",
+    "ALL_APP_SERVERS",
+    "ESTABLISHED_SERVERS",
+    "NEW_SERVERS",
+    "architecture",
+    "PAPER_MAX_THROUGHPUTS",
+]
+
+# Max throughputs measured on the paper's testbed (requests/second) under
+# the typical (all-browse) workload.
+PAPER_MAX_THROUGHPUTS: dict[str, float] = {
+    "AppServS": 86.0,
+    "AppServF": 186.0,
+    "AppServVF": 320.0,
+}
+
+APP_SERV_S = ServerArchitecture(
+    name="AppServS",
+    cpu_speed=PAPER_MAX_THROUGHPUTS["AppServS"] / PAPER_MAX_THROUGHPUTS["AppServF"],
+    heap_mb=128,
+    max_concurrency=50,
+    established=False,
+)
+
+APP_SERV_F = ServerArchitecture(
+    name="AppServF",
+    cpu_speed=1.0,
+    heap_mb=256,
+    max_concurrency=50,
+    established=True,
+)
+
+APP_SERV_VF = ServerArchitecture(
+    name="AppServVF",
+    cpu_speed=PAPER_MAX_THROUGHPUTS["AppServVF"] / PAPER_MAX_THROUGHPUTS["AppServF"],
+    heap_mb=256,
+    max_concurrency=50,
+    established=True,
+)
+
+DB_SERVER = DatabaseArchitecture(
+    name="DBServer",
+    cpu_speed=1.0,
+    max_concurrency=20,
+    disk_speed=1.0,
+)
+
+ALL_APP_SERVERS: tuple[ServerArchitecture, ...] = (APP_SERV_S, APP_SERV_F, APP_SERV_VF)
+ESTABLISHED_SERVERS: tuple[ServerArchitecture, ...] = (APP_SERV_F, APP_SERV_VF)
+NEW_SERVERS: tuple[ServerArchitecture, ...] = (APP_SERV_S,)
+
+_BY_NAME = {arch.name: arch for arch in ALL_APP_SERVERS}
+
+
+def architecture(name: str) -> ServerArchitecture:
+    """Look up an application-server architecture by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture {name!r}; known: {sorted(_BY_NAME)}"
+        ) from None

@@ -1,0 +1,164 @@
+"""Application-server model.
+
+Each simulated application server has:
+
+* a **worker-thread pool** (FIFO, 50 threads in the case study) — the
+  server's single FIFO waiting queue;
+* a **CPU** time-shared among all threads currently executing application
+  code (processor sharing);
+* optionally an **LRU session cache** (section 7.2); on a miss the request
+  pays one extra database call to read the client's session.
+
+A request holds one thread for its whole service path: first CPU burst,
+synchronous database calls (thread held, CPU idle), second CPU burst.
+Splitting the application demand around the database calls mirrors how the
+layered queuing model distributes an entry's host demand around its calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.servers.architecture import ServerArchitecture
+from repro.simulation.cache import LruSessionCache
+from repro.simulation.database import DatabaseServerSim
+from repro.simulation.engine import Simulator
+from repro.simulation.resources import ProcessorSharingServer, ThreadPool
+from repro.workload.operations import Operation
+
+__all__ = ["AppServerSim", "SESSION_READ_CPU_MS", "SESSION_READ_DISK_MS"]
+
+# Database cost of reading a client session on a cache miss (section 7.2).
+SESSION_READ_CPU_MS = 0.8
+SESSION_READ_DISK_MS = 1.2
+
+_UNBOUNDED = 1_000_000
+
+
+class _Request:
+    __slots__ = (
+        "client_id",
+        "op",
+        "app_demand_ms",
+        "db_calls_left",
+        "done_cb",
+    )
+
+    def __init__(
+        self,
+        client_id: object,
+        op: Operation,
+        app_demand_ms: float,
+        db_calls: int,
+        done_cb: Callable[[], None],
+    ):
+        self.client_id = client_id
+        self.op = op
+        self.app_demand_ms = app_demand_ms
+        self.db_calls_left = db_calls
+        self.done_cb = done_cb
+
+
+class AppServerSim:
+    """One simulated application server attached to a database server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        arch: ServerArchitecture,
+        database: DatabaseServerSim,
+        rng: np.random.Generator,
+        *,
+        instance: str | None = None,
+        session_cache: LruSessionCache | None = None,
+    ) -> None:
+        self.sim = sim
+        self.arch = arch
+        self.database = database
+        self.name = instance if instance is not None else arch.name
+        self.threads = ThreadPool(sim, f"{self.name}:threads", arch.max_concurrency)
+        self.cpu = ProcessorSharingServer(
+            sim,
+            f"{self.name}:cpu",
+            speed=arch.cpu_speed,
+            max_concurrency=_UNBOUNDED,
+            cores=arch.cores,
+        )
+        self.session_cache = session_cache
+        self._rng = rng
+        self.completions = 0
+        self.cache_miss_db_calls = 0
+        database.register_source(self.name)
+
+    def handle(
+        self,
+        client_id: object,
+        op: Operation,
+        done_cb: Callable[[], None],
+        *,
+        priority: int = 0,
+    ) -> None:
+        """Serve one client request; ``done_cb`` fires when the response is
+        ready to leave the server.  ``priority`` orders the thread queue
+        (lower = more urgent; section 8.1's priority-discipline variation).
+        """
+        # Processing times are exponentially distributed (as the layered
+        # queuing model assumes, section 5).
+        demand = float(self._rng.exponential(op.app_demand_ms))
+        db_calls = self._sample_db_calls(op.db_calls)
+        req = _Request(client_id, op, demand, db_calls, done_cb)
+        self.threads.acquire(lambda r=req: self._on_thread(r), priority=priority)
+
+    def reset_stats(self) -> None:
+        """Restart measurement windows on the server's stations."""
+        self.threads.reset_stats()
+        self.cpu.reset_stats()
+        self.completions = 0
+        self.cache_miss_db_calls = 0
+        if self.session_cache is not None:
+            self.session_cache.reset_stats()
+
+    # -- request lifecycle ---------------------------------------------------
+
+    def _sample_db_calls(self, mean_calls: float) -> int:
+        """Integer call count with the given mean (base + Bernoulli residue)."""
+        base = int(mean_calls)
+        frac = mean_calls - base
+        extra = 1 if (frac > 0.0 and self._rng.random() < frac) else 0
+        return base + extra
+
+    def _on_thread(self, req: _Request) -> None:
+        if self.session_cache is not None:
+            hit = self.session_cache.access(req.client_id, req.op.session_bytes)
+            if not hit:
+                # Extra synchronous database call to read the session.
+                self.cache_miss_db_calls += 1
+                self.database.request(
+                    self.name,
+                    SESSION_READ_CPU_MS,
+                    SESSION_READ_DISK_MS,
+                    lambda r=req: self._first_burst(r),
+                )
+                return
+        self._first_burst(req)
+
+    def _first_burst(self, req: _Request) -> None:
+        self.cpu.submit(req.app_demand_ms * 0.5, lambda r=req: self._db_phase(r))
+
+    def _db_phase(self, req: _Request) -> None:
+        if req.db_calls_left > 0:
+            req.db_calls_left -= 1
+            cpu_ms = float(self._rng.exponential(req.op.db_cpu_per_call_ms))
+            disk_ms = float(self._rng.exponential(req.op.db_disk_per_call_ms))
+            self.database.request(
+                self.name, cpu_ms, disk_ms, lambda r=req: self._db_phase(r)
+            )
+        else:
+            self.cpu.submit(req.app_demand_ms * 0.5, lambda r=req: self._respond(r))
+
+    def _respond(self, req: _Request) -> None:
+        self.threads.release()
+        self.completions += 1
+        req.done_cb()

@@ -1,0 +1,96 @@
+"""LRU session cache for the caching study (section 7.2 of the paper).
+
+In the *indirect* design the application server's main memory acts as a
+cache over the per-client session data stored in the database: a request
+whose client session is not cached incurs an extra database call to read the
+session.  Replacement is least-recently-used, as in the paper.
+
+The cache is bytes-accurate: each client's session has a size, and the cache
+holds whole sessions up to a byte capacity (the architecture's heap size, or
+an explicit override so experiments can create pressure).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.util.validation import check_positive, check_positive_int
+
+__all__ = ["LruSessionCache"]
+
+
+class LruSessionCache:
+    """A byte-capacity LRU cache of per-client sessions."""
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity_bytes = check_positive_int(capacity_bytes, "capacity_bytes")
+        self._entries: "OrderedDict[object, int]" = OrderedDict()
+        self._used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently occupied by cached sessions."""
+        return self._used_bytes
+
+    @property
+    def entry_count(self) -> int:
+        """Number of sessions currently cached."""
+        return len(self._entries)
+
+    def access(self, client_id: object, session_bytes: int) -> bool:
+        """Touch ``client_id``'s session; return True on a hit.
+
+        On a miss the session is inserted (evicting LRU sessions as needed);
+        on a hit it is moved to most-recently-used.  A session larger than
+        the whole cache is never cached and always misses.
+        """
+        size = int(check_positive(session_bytes, "session_bytes"))
+        if client_id in self._entries:
+            old = self._entries.pop(client_id)
+            self._used_bytes -= old
+            self._insert(client_id, size)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if size <= self.capacity_bytes:
+            self._insert(client_id, size)
+        return False
+
+    def invalidate(self, client_id: object) -> bool:
+        """Drop ``client_id``'s session (e.g. on logoff); True if present."""
+        if client_id in self._entries:
+            self._used_bytes -= self._entries.pop(client_id)
+            return True
+        return False
+
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed; NaN before any access."""
+        total = self.hits + self.misses
+        return self.misses / total if total else float("nan")
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/eviction counters (cache contents are kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _insert(self, client_id: object, size: int) -> None:
+        while self._used_bytes + size > self.capacity_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._used_bytes -= evicted
+            self.evictions += 1
+        if self._used_bytes + size <= self.capacity_bytes:
+            self._entries[client_id] = size
+            self._used_bytes += size
+
+    def __contains__(self, client_id: object) -> bool:
+        return client_id in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LruSessionCache(used={self._used_bytes}/{self.capacity_bytes}B, "
+            f"entries={len(self._entries)}, miss_rate={self.miss_rate():.3f})"
+        )

@@ -1,0 +1,169 @@
+"""Closed-loop client populations.
+
+A *client* is "a request generator (i.e. a web browser window) that requires
+the result of the previous request to send the next request" (section 3.1).
+Each client alternates between an exponentially distributed think time and a
+synchronous request, so as load increases the rate at which clients send
+requests decreases — the closed-workload property all three prediction
+methods exploit.
+
+Client start times are staggered uniformly over one mean think time so a
+simulation does not begin with a synchronized request burst.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.simulation.appserver import AppServerSim
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventPriority
+from repro.simulation.metrics import MetricsCollector
+from repro.util.validation import check_non_negative, check_non_negative_int
+from repro.workload.service_class import ServiceClass
+
+__all__ = ["ClientPopulation"]
+
+_client_counter = itertools.count()
+
+
+class _Client:
+    __slots__ = ("client_id", "position", "sent_at_ms")
+
+    def __init__(self, client_id: str):
+        self.client_id = client_id
+        self.position = 0  # index within the (possibly scripted) session
+        self.sent_at_ms = 0.0
+
+
+class ClientPopulation:
+    """``n`` closed-loop clients of one service class on one app server.
+
+    The population is *dynamic*: a workload manager can transfer clients
+    onto or off the server at runtime (:meth:`add_clients`,
+    :meth:`remove_clients`) — the operation section 4.2 of the paper relies
+    on to collect a second calibration data point.  Removal is graceful: a
+    leaving client finishes its in-flight request and departs instead of
+    sending the next one.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service_class: ServiceClass,
+        n_clients: int,
+        server: AppServerSim,
+        metrics: MetricsCollector,
+        rng: np.random.Generator,
+        *,
+        network_latency_ms: float = 0.0,
+    ) -> None:
+        check_non_negative_int(n_clients, "n_clients")
+        check_non_negative(network_latency_ms, "network_latency_ms")
+        self.sim = sim
+        self.service_class = service_class
+        self.n_clients = n_clients
+        self.server = server
+        self.metrics = metrics
+        self.network_latency_ms = network_latency_ms
+        self._rng = rng
+        self._target_size = n_clients
+        self._active = 0
+        self._clients = [
+            _Client(f"{service_class.name}/{server.name}/{next(_client_counter)}")
+            for _ in range(n_clients)
+        ]
+
+    def start(self) -> None:
+        """Schedule every client's first request (staggered start)."""
+        mean_think = self.service_class.think_time_ms
+        for client in self._clients:
+            self._active += 1
+            offset = float(self._rng.uniform(0.0, mean_think))
+            self.sim.schedule(
+                offset, lambda c=client: self._send(c), priority=EventPriority.ARRIVAL
+            )
+
+    # -- dynamic population control (the workload manager's transfers) -------
+
+    @property
+    def current_size(self) -> int:
+        """Clients currently cycling (in-flight departures still count)."""
+        return self._active
+
+    @property
+    def target_size(self) -> int:
+        """The size the population is converging to."""
+        return self._target_size
+
+    def add_clients(self, count: int) -> None:
+        """Transfer ``count`` clients onto the server (effective now)."""
+        check_non_negative_int(count, "count")
+        self._target_size += count
+        mean_think = self.service_class.think_time_ms
+        for _ in range(count):
+            client = _Client(
+                f"{self.service_class.name}/{self.server.name}/{next(_client_counter)}"
+            )
+            self._clients.append(client)
+            self._active += 1
+            offset = float(self._rng.uniform(0.0, mean_think))
+            self.sim.schedule(
+                offset, lambda c=client: self._send(c), priority=EventPriority.ARRIVAL
+            )
+
+    def remove_clients(self, count: int) -> None:
+        """Transfer ``count`` clients off the server.
+
+        Each departing client retires at its next send instant (after
+        completing any in-flight request and think time) rather than being
+        cut mid-request.
+        """
+        check_non_negative_int(count, "count")
+        self._target_size = max(0, self._target_size - count)
+
+    def _net_delay(self) -> float:
+        if self.network_latency_ms <= 0.0:
+            return 0.0
+        return float(self._rng.exponential(self.network_latency_ms))
+
+    def _send(self, client: _Client) -> None:
+        if self._active > self._target_size:
+            # This client has been transferred off the server: retire
+            # instead of sending the next request.
+            self._active -= 1
+            try:
+                self._clients.remove(client)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            return
+        client.sent_at_ms = self.sim.now
+        op = self.service_class.behaviour.next_operation(self._rng, client.position)
+        client.position += 1
+        outbound = self._net_delay()
+        self.sim.schedule(
+            outbound,
+            lambda c=client, o=op: self.server.handle(
+                c.client_id,
+                o,
+                lambda: self._on_response(c),
+                priority=self.service_class.priority,
+            ),
+            priority=EventPriority.ARRIVAL,
+        )
+
+    def _on_response(self, client: _Client) -> None:
+        inbound = self._net_delay()
+        self.sim.schedule(
+            inbound, lambda c=client: self._complete(c), priority=EventPriority.ARRIVAL
+        )
+
+    def _complete(self, client: _Client) -> None:
+        response_ms = self.sim.now - client.sent_at_ms
+        self.metrics.record(self.service_class.name, response_ms)
+        think = float(self._rng.exponential(self.service_class.think_time_ms))
+        self.sim.schedule(
+            think, lambda c=client: self._send(c), priority=EventPriority.ARRIVAL
+        )

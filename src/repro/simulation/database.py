@@ -1,0 +1,122 @@
+"""Database-server model.
+
+The paper's system model gives the database server one FIFO queue **per
+application server**, a CPU that time-shares up to 20 requests, and a disk
+that serves one request at a time (the layered queuing model treats the disk
+as "a processor that can only process one request at a time").
+
+A database request therefore flows: per-source FIFO admission (bounded by the
+20-thread limit) → CPU burst (processor sharing) → disk access (FCFS) →
+done.  When a thread frees up, the per-source queues are served round-robin
+so no application server can starve the others.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.servers.architecture import DatabaseArchitecture
+from repro.simulation.engine import Simulator
+from repro.simulation.resources import FifoServer, ProcessorSharingServer
+from repro.util.errors import SimulationError
+
+__all__ = ["DatabaseServerSim"]
+
+# The CPU's processor-sharing set is bounded by the thread limit enforced in
+# admission, so the station itself is given effectively-unbounded concurrency.
+_UNBOUNDED = 1_000_000
+
+
+class _DbRequest:
+    __slots__ = ("cpu_ms", "disk_ms", "done_cb")
+
+    def __init__(self, cpu_ms: float, disk_ms: float, done_cb: Callable[[], None]):
+        self.cpu_ms = cpu_ms
+        self.disk_ms = disk_ms
+        self.done_cb = done_cb
+
+
+class DatabaseServerSim:
+    """Simulated database server shared by all application servers."""
+
+    def __init__(self, sim: Simulator, arch: DatabaseArchitecture) -> None:
+        self.sim = sim
+        self.arch = arch
+        self.cpu = ProcessorSharingServer(
+            sim, f"{arch.name}:cpu", speed=arch.cpu_speed, max_concurrency=_UNBOUNDED
+        )
+        self.disk = FifoServer(sim, f"{arch.name}:disk", speed=arch.disk_speed, servers=1)
+        self._active = 0
+        self._queues: dict[str, deque[_DbRequest]] = {}
+        self._rr_order: list[str] = []
+        self._rr_index = 0
+        self.completions = 0
+
+    def register_source(self, source_id: str) -> None:
+        """Create the FIFO queue for one application server."""
+        if source_id in self._queues:
+            raise SimulationError(f"database source {source_id!r} already registered")
+        self._queues[source_id] = deque()
+        self._rr_order.append(source_id)
+
+    def request(
+        self,
+        source_id: str,
+        cpu_ms: float,
+        disk_ms: float,
+        done_cb: Callable[[], None],
+    ) -> None:
+        """Submit one database request from application server ``source_id``."""
+        if source_id not in self._queues:
+            raise SimulationError(f"unknown database source {source_id!r}")
+        req = _DbRequest(cpu_ms, disk_ms, done_cb)
+        if self._active < self.arch.max_concurrency:
+            self._start(req)
+        else:
+            self._queues[source_id].append(req)
+
+    @property
+    def active(self) -> int:
+        """Requests currently holding a database thread."""
+        return self._active
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting in the per-application-server FIFO queues."""
+        return sum(len(q) for q in self._queues.values())
+
+    def reset_stats(self) -> None:
+        """Restart measurement windows on all internal stations."""
+        self.cpu.reset_stats()
+        self.disk.reset_stats()
+        self.completions = 0
+
+    def _start(self, req: _DbRequest) -> None:
+        self._active += 1
+        self.cpu.submit(req.cpu_ms, lambda r=req: self._cpu_done(r))
+
+    def _cpu_done(self, req: _DbRequest) -> None:
+        if req.disk_ms > 0.0:
+            self.disk.submit(req.disk_ms, lambda r=req: self._finish(r))
+        else:
+            self._finish(req)
+
+    def _finish(self, req: _DbRequest) -> None:
+        self._active -= 1
+        self.completions += 1
+        self._admit_next()
+        req.done_cb()
+
+    def _admit_next(self) -> None:
+        """Round-robin over the per-source queues for the freed thread."""
+        if self._active >= self.arch.max_concurrency or not self._rr_order:
+            return
+        n = len(self._rr_order)
+        for offset in range(n):
+            source = self._rr_order[(self._rr_index + offset) % n]
+            queue = self._queues[source]
+            if queue:
+                self._rr_index = (self._rr_index + offset + 1) % n
+                self._start(queue.popleft())
+                return

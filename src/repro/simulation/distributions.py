@@ -1,0 +1,138 @@
+"""Random-variate samplers for the simulator.
+
+Each sampler wraps a :class:`numpy.random.Generator` stream so that every
+stochastic component of the simulation draws from its own reproducible
+sub-stream (see :mod:`repro.util.rng`).
+
+All samplers return **milliseconds**.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util.validation import check_fraction, check_positive, check_positive_int
+
+__all__ = ["Sampler", "Deterministic", "Exponential", "Erlang", "HyperExponential"]
+
+
+class Sampler(ABC):
+    """A distribution from which the simulator draws i.i.d. samples."""
+
+    @abstractmethod
+    def sample(self) -> float:
+        """Draw one sample (ms)."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """The distribution's mean (ms)."""
+
+    def sample_many(self, n: int) -> np.ndarray:
+        """Draw ``n`` samples as an array (default: loop over :meth:`sample`)."""
+        return np.array([self.sample() for _ in range(int(n))])
+
+
+class Deterministic(Sampler):
+    """Always returns the same value. Useful for tests and for modelling
+    fixed protocol overheads."""
+
+    def __init__(self, value_ms: float):
+        self._value = check_positive(value_ms, "value_ms") if value_ms != 0 else 0.0
+
+    def sample(self) -> float:
+        """Return the fixed value."""
+        return self._value
+
+    @property
+    def mean(self) -> float:
+        """The fixed value."""
+        return self._value
+
+    def sample_many(self, n: int) -> np.ndarray:
+        return np.full(int(n), self._value)
+
+    def __repr__(self) -> str:
+        return f"Deterministic({self._value}ms)"
+
+
+class Exponential(Sampler):
+    """Exponentially distributed samples with the given mean.
+
+    The paper's client think times are exponential with a 7 s mean, and the
+    layered queuing model assumes exponentially distributed processing times.
+    """
+
+    def __init__(self, mean_ms: float, rng: np.random.Generator):
+        self._mean = check_positive(mean_ms, "mean_ms")
+        self._rng = rng
+
+    def sample(self) -> float:
+        """Draw one exponential sample (ms)."""
+        return float(self._rng.exponential(self._mean))
+
+    @property
+    def mean(self) -> float:
+        """The configured mean (ms)."""
+        return self._mean
+
+    def sample_many(self, n: int) -> np.ndarray:
+        return self._rng.exponential(self._mean, size=int(n))
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean}ms)"
+
+
+class Erlang(Sampler):
+    """Erlang-k distributed samples (sum of k exponentials), for modelling
+    lower-variance service stages."""
+
+    def __init__(self, mean_ms: float, k: int, rng: np.random.Generator):
+        self._mean = check_positive(mean_ms, "mean_ms")
+        self._k = check_positive_int(k, "k")
+        self._rng = rng
+
+    def sample(self) -> float:
+        """Draw one Erlang-k sample (ms)."""
+        return float(self._rng.gamma(self._k, self._mean / self._k))
+
+    @property
+    def mean(self) -> float:
+        """The configured mean (ms)."""
+        return self._mean
+
+    def sample_many(self, n: int) -> np.ndarray:
+        return self._rng.gamma(self._k, self._mean / self._k, size=int(n))
+
+    def __repr__(self) -> str:
+        return f"Erlang(mean={self._mean}ms, k={self._k})"
+
+
+class HyperExponential(Sampler):
+    """Two-branch hyper-exponential, for high-variance service demands.
+
+    With probability ``p`` the sample is exponential with mean ``mean1_ms``,
+    otherwise exponential with mean ``mean2_ms``.
+    """
+
+    def __init__(self, p: float, mean1_ms: float, mean2_ms: float, rng: np.random.Generator):
+        self._p = check_fraction(p, "p")
+        self._mean1 = check_positive(mean1_ms, "mean1_ms")
+        self._mean2 = check_positive(mean2_ms, "mean2_ms")
+        self._rng = rng
+
+    def sample(self) -> float:
+        mean = self._mean1 if self._rng.random() < self._p else self._mean2
+        return float(self._rng.exponential(mean))
+
+    @property
+    def mean(self) -> float:
+        """The mixture mean ``p·mean1 + (1−p)·mean2`` (ms)."""
+        return self._p * self._mean1 + (1.0 - self._p) * self._mean2
+
+    def __repr__(self) -> str:
+        return (
+            f"HyperExponential(p={self._p}, mean1={self._mean1}ms, mean2={self._mean2}ms)"
+        )

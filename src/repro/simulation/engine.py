@@ -1,0 +1,106 @@
+"""Event-driven simulation core.
+
+A minimal, fast calendar built on :mod:`heapq`.  Components schedule
+callbacks at absolute or relative times; the engine pops them in
+``(time, priority, insertion order)`` order, which makes runs deterministic.
+
+Time unit is **milliseconds** throughout (see :mod:`repro.util.units`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.simulation.events import Event, EventPriority
+from repro.util.errors import SimulationError
+from repro.util.validation import check_non_negative
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """A discrete-event simulator clock and event calendar."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self.events_processed: int = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in milliseconds."""
+        return self._now
+
+    def schedule(
+        self,
+        delay_ms: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = EventPriority.CONTROL,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay_ms`` from now.
+
+        Returns the :class:`Event`, whose :meth:`~Event.cancel` method can be
+        used to retract it.
+        """
+        check_non_negative(delay_ms, "delay_ms")
+        return self.schedule_at(self._now + delay_ms, callback, priority=priority)
+
+    def schedule_at(
+        self,
+        time_ms: float,
+        callback: Callable[[], None],
+        *,
+        priority: int = EventPriority.CONTROL,
+    ) -> Event:
+        """Schedule ``callback`` at absolute time ``time_ms``."""
+        if time_ms < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ms} before current time t={self._now}"
+            )
+        event = Event(time=time_ms, priority=priority, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run_until(self, end_time_ms: float, *, max_events: int | None = None) -> None:
+        """Process events in order until the clock would pass ``end_time_ms``.
+
+        The clock is left exactly at ``end_time_ms`` afterwards, so metric
+        windows have well-defined lengths.  ``max_events`` guards against
+        run-away event loops in tests.
+        """
+        if end_time_ms < self._now:
+            raise SimulationError(
+                f"end time {end_time_ms} is before current time {self._now}"
+            )
+        if self._running:
+            raise SimulationError("run_until called re-entrantly")
+        self._running = True
+        try:
+            processed = 0
+            while self._heap and self._heap[0].time <= end_time_ms:
+                event = heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+                self.events_processed += 1
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before t={end_time_ms}"
+                    )
+            self._now = end_time_ms
+        finally:
+            self._running = False
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still in the calendar."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Simulator(now={self._now:.3f}ms, pending={len(self._heap)})"

@@ -1,0 +1,100 @@
+"""Open (constant-rate) workload sources.
+
+Section 8.1 of the paper lists "some or all clients sending requests at a
+constant rate" as a system-model variation all three prediction methods can
+handle.  An :class:`OpenArrivalProcess` injects requests as a Poisson stream
+of the given mean rate — arrivals do *not* wait for previous responses, so
+unlike the closed populations the offered load does not self-throttle as
+the server slows (and can therefore destabilise it).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.simulation.appserver import AppServerSim
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventPriority
+from repro.simulation.metrics import MetricsCollector
+from repro.util.validation import check_non_negative, check_positive
+from repro.workload.service_class import ServiceClass
+
+__all__ = ["OpenArrivalProcess"]
+
+_source_counter = itertools.count()
+
+
+class OpenArrivalProcess:
+    """A Poisson request source of one service class aimed at one server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        service_class: ServiceClass,
+        rate_req_per_s: float,
+        server: AppServerSim,
+        metrics: MetricsCollector,
+        rng: np.random.Generator,
+        *,
+        network_latency_ms: float = 0.0,
+        metric_class_name: str | None = None,
+    ) -> None:
+        check_positive(rate_req_per_s, "rate_req_per_s")
+        check_non_negative(network_latency_ms, "network_latency_ms")
+        self.sim = sim
+        self.service_class = service_class
+        self.mean_interarrival_ms = 1000.0 / rate_req_per_s
+        self.server = server
+        self.metrics = metrics
+        self.network_latency_ms = network_latency_ms
+        self.metric_class_name = (
+            metric_class_name
+            if metric_class_name is not None
+            else f"open_{service_class.name}"
+        )
+        self._rng = rng
+        self._source_id = next(_source_counter)
+        self._request_counter = itertools.count()
+        self.arrivals = 0
+
+    def start(self) -> None:
+        """Schedule the first arrival."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay = float(self._rng.exponential(self.mean_interarrival_ms))
+        self.sim.schedule(delay, self._arrive, priority=EventPriority.ARRIVAL)
+
+    def _net_delay(self) -> float:
+        if self.network_latency_ms <= 0.0:
+            return 0.0
+        return float(self._rng.exponential(self.network_latency_ms))
+
+    def _arrive(self) -> None:
+        self.arrivals += 1
+        self._schedule_next()
+        sent_at = self.sim.now
+        request_id = next(self._request_counter)
+        # Open sources have no session continuity: each request samples the
+        # class behaviour at an independent position.
+        position = int(self._rng.integers(0, 1 << 30))
+        op = self.service_class.behaviour.next_operation(self._rng, position)
+        client_id = f"open/{self._source_id}/{request_id}"
+        outbound = self._net_delay()
+        self.sim.schedule(
+            outbound,
+            lambda: self.server.handle(
+                client_id, op, lambda: self._on_response(sent_at)
+            ),
+            priority=EventPriority.ARRIVAL,
+        )
+
+    def _on_response(self, sent_at_ms: float) -> None:
+        inbound = self._net_delay()
+        self.sim.schedule(
+            inbound,
+            lambda: self.metrics.record(self.metric_class_name, self.sim.now - sent_at_ms),
+            priority=EventPriority.ARRIVAL,
+        )

@@ -1,0 +1,408 @@
+"""Queueing resources: processor-sharing and FCFS service stations.
+
+Two station types cover the paper's system model:
+
+* :class:`ProcessorSharingServer` — a single CPU that *time-shares* up to
+  ``max_concurrency`` requests (egalitarian processor sharing), with a FIFO
+  backlog for requests beyond the concurrency limit.  This models both the
+  WebSphere application-server CPU ("a single FIFO waiting queue is used by
+  each application server … both servers can process multiple requests
+  concurrently via time-sharing") and the database CPU.
+* :class:`FifoServer` — ``c`` servers each processing one request at a time
+  in arrival order.  With ``c = 1`` this models the database disk, which the
+  paper's layered queuing model treats as "a processor that can only process
+  one request at a time".
+
+Both stations are event-driven (no time slicing): the processor-sharing
+station advances every in-service job's remaining work lazily whenever its
+state changes, then schedules the next completion exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.simulation.engine import Simulator
+from repro.simulation.events import Event, EventPriority
+from repro.util.errors import SimulationError
+from repro.util.validation import check_non_negative, check_positive, check_positive_int
+
+__all__ = ["ProcessorSharingServer", "FifoServer", "ThreadPool", "StationStats"]
+
+# Remaining-work threshold (ms of speed-1.0 work) under which a job is
+# considered finished; guards against float drift producing zero-length
+# reschedule loops.
+_WORK_EPS = 1e-9
+
+
+@dataclass(slots=True)
+class StationStats:
+    """Cumulative counters for one station, resettable at the warm-up mark."""
+
+    completions: int = 0
+    busy_time_ms: float = 0.0
+    work_done_ms: float = 0.0
+    area_in_system: float = 0.0  # time-integral of (in service + queued)
+    area_in_queue: float = 0.0  # time-integral of queued only
+    window_start_ms: float = 0.0
+    peak_in_system: int = 0
+
+    def utilisation(self, now_ms: float) -> float:
+        """Fraction of the measurement window in which the station was busy."""
+        elapsed = now_ms - self.window_start_ms
+        return self.busy_time_ms / elapsed if elapsed > 0 else 0.0
+
+    def mean_in_system(self, now_ms: float) -> float:
+        """Time-averaged number of requests at the station (service + queue)."""
+        elapsed = now_ms - self.window_start_ms
+        return self.area_in_system / elapsed if elapsed > 0 else 0.0
+
+    def mean_in_queue(self, now_ms: float) -> float:
+        """Time-averaged number of requests waiting (not in service)."""
+        elapsed = now_ms - self.window_start_ms
+        return self.area_in_queue / elapsed if elapsed > 0 else 0.0
+
+
+@dataclass(slots=True)
+class _PsJob:
+    remaining_ms: float  # work left, in ms at speed 1.0
+    done_cb: Callable[[], None]
+    arrived_ms: float
+
+
+class ProcessorSharingServer:
+    """Event-driven egalitarian processor sharing with an admission limit.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    name:
+        Station name (diagnostics only).
+    speed:
+        Relative CPU speed.  A job submitted with ``work_ms`` of demand takes
+        ``work_ms / speed`` of wall-clock time when running alone.
+    max_concurrency:
+        Maximum number of requests time-shared at once (the WebSphere
+        thread-pool limit: 50 for application servers, 20 for the database in
+        the paper's case study).  Requests beyond the limit queue FIFO.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        speed: float = 1.0,
+        max_concurrency: int = 1,
+        cores: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.speed = check_positive(speed, "speed")
+        self.max_concurrency = check_positive_int(max_concurrency, "max_concurrency")
+        # SMP generalisation: with c cores and n jobs in service, each job
+        # progresses at speed * min(n, c) / n (no job exceeds one core).
+        self.cores = check_positive_int(cores, "cores")
+        self._in_service: list[_PsJob] = []
+        self._queue: deque[_PsJob] = deque()
+        self._last_update_ms: float = sim.now
+        self._completion_event: Event | None = None
+        self.stats = StationStats(window_start_ms=sim.now)
+
+    # -- public API ---------------------------------------------------------
+
+    def submit(self, work_ms: float, done_cb: Callable[[], None]) -> None:
+        """Offer a request with ``work_ms`` of CPU demand (at speed 1.0).
+
+        ``done_cb`` fires when the request's work completes.  Zero-work
+        requests complete immediately (still counted as completions).
+        """
+        check_non_negative(work_ms, "work_ms")
+        self._advance()
+        job = _PsJob(remaining_ms=work_ms, done_cb=done_cb, arrived_ms=self.sim.now)
+        if work_ms <= _WORK_EPS:
+            self.stats.completions += 1
+            done_cb()
+            self._reschedule()
+            return
+        if len(self._in_service) < self.max_concurrency:
+            self._in_service.append(job)
+        else:
+            self._queue.append(job)
+        self._track_peak()
+        self._reschedule()
+
+    @property
+    def in_service(self) -> int:
+        """Number of requests currently time-sharing the CPU."""
+        return len(self._in_service)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for admission."""
+        return len(self._queue)
+
+    @property
+    def total_in_system(self) -> int:
+        """Requests in service plus requests queued."""
+        return len(self._in_service) + len(self._queue)
+
+    def reset_stats(self) -> None:
+        """Restart the measurement window at the current instant.
+
+        Called at the end of the warm-up period so steady-state metrics
+        exclude the ramp-up transient.
+        """
+        self._advance()
+        self.stats = StationStats(window_start_ms=self.sim.now)
+        self._track_peak()
+
+    # -- internals ----------------------------------------------------------
+
+    def _track_peak(self) -> None:
+        n = self.total_in_system
+        if n > self.stats.peak_in_system:
+            self.stats.peak_in_system = n
+
+    def _advance(self) -> None:
+        """Apply elapsed service to all in-service jobs since last update."""
+        now = self.sim.now
+        elapsed = now - self._last_update_ms
+        if elapsed < 0:
+            raise SimulationError(f"{self.name}: clock moved backwards")
+        if elapsed > 0:
+            n = len(self._in_service)
+            if n > 0:
+                busy_cores = min(n, self.cores)
+                per_job = elapsed * self.speed * busy_cores / n
+                for job in self._in_service:
+                    job.remaining_ms -= per_job
+                # Utilisation is per core: n jobs keep min(n, cores) cores busy.
+                self.stats.busy_time_ms += elapsed * (busy_cores / self.cores)
+                self.stats.work_done_ms += elapsed * self.speed * busy_cores
+            self.stats.area_in_system += elapsed * (n + len(self._queue))
+            self.stats.area_in_queue += elapsed * len(self._queue)
+        self._last_update_ms = now
+
+    def _reschedule(self) -> None:
+        """(Re)schedule the completion event for the job finishing soonest."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._in_service:
+            return
+        n = len(self._in_service)
+        min_remaining = min(job.remaining_ms for job in self._in_service)
+        rate = self.speed * min(n, self.cores) / n  # per-job progress rate
+        delay = max(min_remaining, 0.0) / rate
+        self._completion_event = self.sim.schedule(
+            delay, self._on_completion, priority=EventPriority.DEPARTURE
+        )
+
+    def _on_completion(self) -> None:
+        self._completion_event = None
+        self._advance()
+        finished = [j for j in self._in_service if j.remaining_ms <= _WORK_EPS]
+        if not finished:
+            # Float drift: the nominal completer still has (tiny) work left.
+            self._reschedule()
+            return
+        for job in finished:
+            self._in_service.remove(job)
+        while self._queue and len(self._in_service) < self.max_concurrency:
+            self._in_service.append(self._queue.popleft())
+        self._reschedule()
+        # Callbacks run after the station state is consistent so re-entrant
+        # submits from a callback see the post-departure state.
+        for job in finished:
+            self.stats.completions += 1
+            job.done_cb()
+
+
+@dataclass(slots=True)
+class _FifoJob:
+    service_ms: float
+    done_cb: Callable[[], None]
+    arrived_ms: float
+    completion: Event | None = field(default=None)
+
+
+class FifoServer:
+    """``c`` first-come-first-served servers with a shared FIFO queue."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        speed: float = 1.0,
+        servers: int = 1,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.speed = check_positive(speed, "speed")
+        self.servers = check_positive_int(servers, "servers")
+        self._queue: deque[_FifoJob] = deque()
+        self._busy: int = 0
+        self._last_update_ms: float = sim.now
+        self.stats = StationStats(window_start_ms=sim.now)
+
+    def submit(self, service_ms: float, done_cb: Callable[[], None]) -> None:
+        """Offer a request needing ``service_ms`` of service (at speed 1.0)."""
+        check_non_negative(service_ms, "service_ms")
+        self._accumulate()
+        job = _FifoJob(service_ms=service_ms, done_cb=done_cb, arrived_ms=self.sim.now)
+        if self._busy < self.servers:
+            self._start(job)
+        else:
+            self._queue.append(job)
+        self._track_peak()
+
+    @property
+    def in_service(self) -> int:
+        """Requests currently being served."""
+        return self._busy
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a free server."""
+        return len(self._queue)
+
+    @property
+    def total_in_system(self) -> int:
+        """Requests in service plus requests queued."""
+        return self._busy + len(self._queue)
+
+    def reset_stats(self) -> None:
+        """Restart the measurement window at the current instant."""
+        self._accumulate()
+        self.stats = StationStats(window_start_ms=self.sim.now)
+        self._track_peak()
+
+    def _track_peak(self) -> None:
+        n = self.total_in_system
+        if n > self.stats.peak_in_system:
+            self.stats.peak_in_system = n
+
+    def _accumulate(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_update_ms
+        if elapsed > 0:
+            self.stats.area_in_system += elapsed * self.total_in_system
+            self.stats.area_in_queue += elapsed * len(self._queue)
+            # busy_time is per-station fraction: scale by busy servers / c.
+            self.stats.busy_time_ms += elapsed * (self._busy / self.servers)
+            self.stats.work_done_ms += elapsed * self._busy * self.speed
+        self._last_update_ms = now
+
+    def _start(self, job: _FifoJob) -> None:
+        self._busy += 1
+        duration = job.service_ms / self.speed
+        job.completion = self.sim.schedule(
+            duration, lambda j=job: self._finish(j), priority=EventPriority.DEPARTURE
+        )
+
+    def _finish(self, job: _FifoJob) -> None:
+        self._accumulate()
+        self._busy -= 1
+        if self._queue:
+            self._start(self._queue.popleft())
+        self.stats.completions += 1
+        job.done_cb()
+
+
+class ThreadPool:
+    """A counting semaphore modelling a server's worker-thread pool.
+
+    A request must hold a thread for its whole service path (CPU bursts plus
+    blocking database calls); the pool size is therefore the server's
+    concurrency limit (50 for application servers, 20 for the database in
+    the paper's case study).  Requests beyond the limit wait in arrival
+    order — the "single FIFO waiting queue used by each application server".
+
+    ``acquire`` optionally takes a *priority* (lower value = more urgent,
+    default 0): waiters are served in (priority, arrival) order, which
+    implements the "priority queuing disciplines" system-model variation of
+    section 8.1.  With all-default priorities the pool is plain FIFO.
+    """
+
+    def __init__(self, sim: Simulator, name: str, capacity: int) -> None:
+        self.sim = sim
+        self.name = name
+        self.capacity = check_positive_int(capacity, "capacity")
+        self._in_use = 0
+        # Heap of (priority, seq, callback); seq preserves FIFO within a
+        # priority level.
+        self._waiters: list[tuple[int, int, Callable[[], None]]] = []
+        self._waiter_seq = 0
+        self._last_update_ms = sim.now
+        self.stats = StationStats(window_start_ms=sim.now)
+
+    @property
+    def in_use(self) -> int:
+        """Threads currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a thread."""
+        return len(self._waiters)
+
+    @property
+    def total_in_system(self) -> int:
+        """Threads held plus requests waiting for one."""
+        return self._in_use + len(self._waiters)
+
+    def acquire(self, granted_cb: Callable[[], None], *, priority: int = 0) -> None:
+        """Request a thread; ``granted_cb`` fires when one is assigned.
+
+        The grant may be synchronous (pool not full) or deferred (priority
+        order, FIFO within a priority).
+        """
+        self._accumulate()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            self._track_peak()
+            granted_cb()
+        else:
+            heapq.heappush(self._waiters, (priority, self._waiter_seq, granted_cb))
+            self._waiter_seq += 1
+            self._track_peak()
+
+    def release(self) -> None:
+        """Return a thread; the most urgent longest-waiting request gets it."""
+        self._accumulate()
+        if self._in_use <= 0:
+            raise SimulationError(f"{self.name}: release() without acquire()")
+        if self._waiters:
+            # Thread passes directly to the next waiter; _in_use unchanged.
+            _, _, waiter = heapq.heappop(self._waiters)
+            self.stats.completions += 1
+            waiter()
+        else:
+            self._in_use -= 1
+            self.stats.completions += 1
+
+    def reset_stats(self) -> None:
+        """Restart the measurement window at the current instant."""
+        self._accumulate()
+        self.stats = StationStats(window_start_ms=self.sim.now)
+        self._track_peak()
+
+    def _track_peak(self) -> None:
+        n = self.total_in_system
+        if n > self.stats.peak_in_system:
+            self.stats.peak_in_system = n
+
+    def _accumulate(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_update_ms
+        if elapsed > 0:
+            self.stats.area_in_system += elapsed * self.total_in_system
+            self.stats.area_in_queue += elapsed * len(self._waiters)
+            self.stats.busy_time_ms += elapsed * (self._in_use / self.capacity)
+        self._last_update_ms = now

@@ -1,0 +1,34 @@
+"""Shared infrastructure: errors, validation, RNG streams, units, tables."""
+
+from repro.util.errors import (
+    ReproError,
+    ModelError,
+    CalibrationError,
+    ConvergenceError,
+    SimulationError,
+    ValidationError,
+)
+from repro.util.rng import RngStreams, spawn_rng
+from repro.util.units import (
+    MS_PER_S,
+    ms_to_s,
+    s_to_ms,
+    per_s_to_per_ms,
+    per_ms_to_per_s,
+)
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "CalibrationError",
+    "ConvergenceError",
+    "SimulationError",
+    "ValidationError",
+    "RngStreams",
+    "spawn_rng",
+    "MS_PER_S",
+    "ms_to_s",
+    "s_to_ms",
+    "per_s_to_per_ms",
+    "per_ms_to_per_s",
+]

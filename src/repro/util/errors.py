@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch the whole family with one clause
+while still distinguishing modelling problems from simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument or model definition failed validation.
+
+    Also derives from :class:`ValueError` so generic callers that expect
+    standard-library semantics keep working.
+    """
+
+
+class ModelError(ReproError):
+    """A performance model is structurally invalid (e.g. a dangling call
+    target in a layered queuing network, or a cyclic task graph)."""
+
+
+class CalibrationError(ReproError):
+    """Calibration failed: insufficient data points, degenerate fits, or
+    non-physical fitted parameters (e.g. a negative max throughput)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge within its iteration budget.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual:
+        Final residual value (same units as the convergence criterion,
+        milliseconds for the layered queuing solver).
+    """
+
+    def __init__(self, message: str, *, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""

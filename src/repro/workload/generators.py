@@ -1,0 +1,205 @@
+"""Request-trace generation, persistence and replay.
+
+Performance teams often work from *traces* (timestamped request logs) rather
+than live load generators.  This module closes that loop for the simulated
+testbed:
+
+* :func:`generate_trace` synthesises a Poisson request trace for a service
+  class (the open-workload analogue of a JMeter script);
+* :func:`save_trace_csv` / :func:`load_trace_csv` persist traces in the
+  obvious interchange format;
+* :class:`TraceReplaySource` replays a trace into a simulated application
+  server, timestamp by timestamp — so recorded (or hand-crafted) workloads
+  drive exactly the same machinery as the synthetic generators.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+from repro.util.rng import spawn_rng
+from repro.util.validation import check_non_negative, check_positive
+from repro.workload.operations import operation
+from repro.workload.service_class import ServiceClass
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.simulation.appserver import AppServerSim
+    from repro.simulation.engine import Simulator
+    from repro.simulation.metrics import MetricsCollector
+
+__all__ = [
+    "TraceEntry",
+    "generate_trace",
+    "save_trace_csv",
+    "load_trace_csv",
+    "TraceReplaySource",
+]
+
+_TRACE_COLUMNS = ("arrival_ms", "operation", "client_id")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One request in a trace."""
+
+    arrival_ms: float
+    operation: str
+    client_id: str
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.arrival_ms, "arrival_ms")
+
+
+def generate_trace(
+    service_class: ServiceClass,
+    rate_req_per_s: float,
+    duration_s: float,
+    *,
+    seed: int = 0,
+    n_clients: int = 100,
+) -> list[TraceEntry]:
+    """A Poisson request trace drawn from a service class's behaviour.
+
+    Requests arrive at mean rate ``rate_req_per_s``; each is attributed to
+    one of ``n_clients`` synthetic client identities (round-robin over the
+    class's session script for scripted classes).
+    """
+    check_positive(rate_req_per_s, "rate_req_per_s")
+    check_positive(duration_s, "duration_s")
+    check_positive(float(n_clients), "n_clients")
+    rng = spawn_rng(seed, f"trace:{service_class.name}")
+    mean_gap = 1000.0 / rate_req_per_s
+    entries: list[TraceEntry] = []
+    positions = [0] * n_clients
+    t = 0.0
+    end = duration_s * 1000.0
+    while True:
+        t += float(rng.exponential(mean_gap))
+        if t >= end:
+            break
+        client = int(rng.integers(0, n_clients))
+        op = service_class.behaviour.next_operation(rng, positions[client])
+        positions[client] += 1
+        entries.append(
+            TraceEntry(
+                arrival_ms=t,
+                operation=op.name,
+                client_id=f"{service_class.name}:{client}",
+            )
+        )
+    return entries
+
+
+def save_trace_csv(trace: list[TraceEntry], path: str | Path) -> Path:
+    """Write a trace as CSV; returns the path."""
+    target = Path(path)
+    with open(target, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_TRACE_COLUMNS)
+        for entry in trace:
+            writer.writerow([repr(entry.arrival_ms), entry.operation, entry.client_id])
+    return target
+
+
+def load_trace_csv(path: str | Path) -> list[TraceEntry]:
+    """Read a trace written by :func:`save_trace_csv` (validates columns,
+    operation names, and arrival-time ordering)."""
+    source = Path(path)
+    if not source.exists():
+        raise ValidationError(f"no trace file at {source}")
+    entries: list[TraceEntry] = []
+    with open(source, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != _TRACE_COLUMNS:
+            raise ValidationError(f"unexpected trace header {header!r}")
+        last = -1.0
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise ValidationError(f"{source}:{line_number}: want 3 columns")
+            try:
+                arrival = float(row[0])
+            except ValueError as exc:
+                raise ValidationError(f"{source}:{line_number}: {exc}") from exc
+            operation(row[1])  # validates the operation name
+            if arrival < last:
+                raise ValidationError(
+                    f"{source}:{line_number}: arrivals must be non-decreasing"
+                )
+            last = arrival
+            entries.append(TraceEntry(arrival_ms=arrival, operation=row[1], client_id=row[2]))
+    return entries
+
+
+class TraceReplaySource:
+    """Replays a trace into one simulated application server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: list[TraceEntry],
+        server: AppServerSim,
+        metrics: MetricsCollector,
+        *,
+        network_latency_ms: float = 0.0,
+        rng: np.random.Generator | None = None,
+        metric_class_name: str = "trace",
+    ) -> None:
+        check_non_negative(network_latency_ms, "network_latency_ms")
+        self.sim = sim
+        self.trace = trace
+        self.server = server
+        self.metrics = metrics
+        self.network_latency_ms = network_latency_ms
+        self.metric_class_name = metric_class_name
+        self._rng = rng if rng is not None else spawn_rng(0, "trace-replay")
+        self.injected = 0
+
+    def start(self) -> None:
+        """Schedule every trace entry at its recorded timestamp."""
+        from repro.simulation.events import EventPriority
+
+        for entry in self.trace:
+            self.sim.schedule_at(
+                entry.arrival_ms,
+                lambda e=entry: self._inject(e),
+                priority=EventPriority.ARRIVAL,
+            )
+
+    def _net_delay(self) -> float:
+        if self.network_latency_ms <= 0.0:
+            return 0.0
+        return float(self._rng.exponential(self.network_latency_ms))
+
+    def _inject(self, entry: TraceEntry) -> None:
+        from repro.simulation.events import EventPriority
+
+        self.injected += 1
+        sent_at = self.sim.now
+        op = operation(entry.operation)
+        outbound = self._net_delay()
+        self.sim.schedule(
+            outbound,
+            lambda: self.server.handle(
+                entry.client_id, op, lambda: self._on_response(sent_at)
+            ),
+            priority=EventPriority.ARRIVAL,
+        )
+
+    def _on_response(self, sent_at_ms: float) -> None:
+        from repro.simulation.events import EventPriority
+
+        inbound = self._net_delay()
+        self.sim.schedule(
+            inbound,
+            lambda: self.metrics.record(self.metric_class_name, self.sim.now - sent_at_ms),
+            priority=EventPriority.ARRIVAL,
+        )

@@ -1,0 +1,120 @@
+"""Trade application operations and their resource demands.
+
+Every client request calls one operation on the application-tier interface
+(buy / sell / quote / …, section 3.1 of the paper).  An operation carries:
+
+* ``request_type`` — the coarse class ("browse" or "buy") that the
+  performance models calibrate per-request-type parameters for (section 5);
+* ``app_demand_ms`` — mean CPU demand at the application server, expressed at
+  the reference speed of the established AppServF architecture;
+* ``db_calls`` — mean number of synchronous database requests issued while
+  serving the operation;
+* ``db_cpu_per_call_ms`` / ``db_disk_per_call_ms`` — mean database CPU and
+  disk demand per database request;
+* ``session_bytes`` — session state touched, used by the caching study
+  (section 7.2).
+
+Demands are chosen so the *class-weighted* aggregates match the paper's
+calibrated behaviour; see ``repro/workload/trade.py`` for the class mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    require,
+)
+
+__all__ = ["Operation", "TRADE_OPERATIONS", "operation", "BROWSE", "BUY"]
+
+BROWSE = "browse"
+BUY = "buy"
+
+_REQUEST_TYPES = (BROWSE, BUY)
+
+
+@dataclass(frozen=True, slots=True)
+class Operation:
+    """One operation on the Trade application-tier interface."""
+
+    name: str
+    request_type: str
+    app_demand_ms: float
+    db_calls: float
+    db_cpu_per_call_ms: float
+    db_disk_per_call_ms: float
+    session_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        require(
+            self.request_type in _REQUEST_TYPES,
+            f"request_type must be one of {_REQUEST_TYPES}, got {self.request_type!r}",
+        )
+        check_positive(self.app_demand_ms, "app_demand_ms")
+        check_non_negative(self.db_calls, "db_calls")
+        check_non_negative(self.db_cpu_per_call_ms, "db_cpu_per_call_ms")
+        check_non_negative(self.db_disk_per_call_ms, "db_disk_per_call_ms")
+
+    @property
+    def db_cpu_total_ms(self) -> float:
+        """Mean database CPU demand across all database calls (ms)."""
+        return self.db_calls * self.db_cpu_per_call_ms
+
+    @property
+    def db_disk_total_ms(self) -> float:
+        """Mean database disk demand across all database calls (ms)."""
+        return self.db_calls * self.db_disk_per_call_ms
+
+
+def _buy_db_cpu(portfolio_size: float) -> float:
+    """Database CPU per buy-family call as a function of mean portfolio size.
+
+    The paper singles out "the average size of the clients' portfolio of
+    stock" as a modelling variable that is hard to measure directly and
+    therefore worth persisting via recalibration (section 2).  We model the
+    database CPU per buy call as affine in the portfolio size, calibrated so
+    that the paper's standard buy class (mean portfolio 5.5) costs 1.613 ms
+    per call — the value in table 2.
+    """
+    check_positive(portfolio_size, "portfolio_size")
+    return 1.3 + 0.0569090909 * portfolio_size
+
+
+# The browse mix below is weighted so that browse-class aggregates are:
+#   mean app demand 5.376 ms   (=> AppServF max throughput 1000/5.376 = 186 req/s)
+#   mean db calls   1.14       (paper, section 5.1)
+# and the buy session (register+login, 10 buys, logoff) aggregates to:
+#   mean app demand 10.455 ms  (preserving the paper's buy/browse CPU ratio
+#                               8.761/4.505 = 1.945 from table 2)
+#   mean db calls   2.0        (paper, section 5.1)
+TRADE_OPERATIONS: dict[str, Operation] = {
+    op.name: op
+    for op in (
+        Operation("quote", BROWSE, 3.50, 1.0, 0.8294, 1.2, session_bytes=1024),
+        Operation("home", BROWSE, 3.00, 1.0, 0.8294, 1.2, session_bytes=1024),
+        Operation("portfolio", BROWSE, 12.00, 2.0, 0.8294, 1.2, session_bytes=4096),
+        Operation("account", BROWSE, 6.56, 1.0, 0.8294, 1.2, session_bytes=2048),
+        Operation("browse_stocks", BROWSE, 7.00, 1.0, 0.8294, 1.2, session_bytes=2048),
+        Operation("update_profile", BROWSE, 8.00, 1.5, 0.8294, 1.2, session_bytes=2048),
+        Operation("login", BROWSE, 9.00, 1.5, 0.8294, 1.2, session_bytes=4096),
+        Operation("logoff_browse", BROWSE, 4.00, 0.5, 0.8294, 1.2, session_bytes=512),
+        Operation(
+            "register_login", BUY, 9.50, 2.5, _buy_db_cpu(5.5), 1.5, session_bytes=4096
+        ),
+        Operation("buy", BUY, 11.01, 2.05, _buy_db_cpu(5.5), 1.5, session_bytes=4096),
+        Operation("logoff", BUY, 5.855, 1.0, _buy_db_cpu(5.5), 1.5, session_bytes=512),
+    )
+}
+
+
+def operation(name: str) -> Operation:
+    """Look up a Trade operation by name."""
+    try:
+        return TRADE_OPERATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown Trade operation {name!r}; known: {sorted(TRADE_OPERATIONS)}"
+        ) from None

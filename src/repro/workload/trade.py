@@ -1,0 +1,130 @@
+"""The paper's Trade service classes and workload mixes.
+
+Defines the canonical *browse* and *buy* service classes (section 3.1) and
+helpers for composing heterogeneous workloads:
+
+* the **typical workload** is all browse clients (the paper's definition);
+* ``mixed_workload(total, buy_fraction)`` splits a client population between
+  buy and browse clients, used by relationship 3 and figure 4;
+* the resource-management scenario of section 9 further splits browse into
+  high- and low-priority classes with distinct SLA goals.
+"""
+
+from __future__ import annotations
+
+from repro.util.units import s_to_ms
+from repro.util.validation import check_fraction, check_non_negative_int, check_positive
+from repro.workload.operations import operation
+from repro.workload.service_class import OperationMix, ScriptedSession, ServiceClass
+
+__all__ = [
+    "browse_class",
+    "buy_class",
+    "BROWSE_CLASS",
+    "BUY_CLASS",
+    "typical_workload",
+    "mixed_workload",
+    "BUY_SESSION_LENGTH",
+    "MEAN_PORTFOLIO_SIZE",
+]
+
+# The buy session is "register new user and login", 10 sequential buys, then
+# "logoff" (section 3.1): 12 requests per session.
+BUY_SESSION_LENGTH = 12
+
+# Ten sequential buys give portfolio sizes 1..10 while buying, a mean
+# portfolio of 5.5 as stated in section 3.1.
+MEAN_PORTFOLIO_SIZE = 5.5
+
+# Browse operation probabilities, representative of the Trade benchmark's
+# published mix (quote-dominated, read-mostly).
+_BROWSE_MIX: tuple[tuple[str, float], ...] = (
+    ("quote", 0.40),
+    ("home", 0.20),
+    ("portfolio", 0.12),
+    ("account", 0.10),
+    ("browse_stocks", 0.10),
+    ("update_profile", 0.04),
+    ("login", 0.02),
+    ("logoff_browse", 0.02),
+)
+
+
+def browse_class(
+    *,
+    name: str = "browse",
+    think_time_s: float = 7.0,
+    rt_goal_ms: float | None = None,
+    priority: int = 0,
+) -> ServiceClass:
+    """Build the browse service class (random Trade operation mix)."""
+    check_positive(think_time_s, "think_time_s")
+    ops = tuple(operation(op_name) for op_name, _ in _BROWSE_MIX)
+    probs = tuple(p for _, p in _BROWSE_MIX)
+    return ServiceClass(
+        name=name,
+        behaviour=OperationMix(operations=ops, probabilities=probs),
+        think_time_ms=s_to_ms(think_time_s),
+        rt_goal_ms=rt_goal_ms,
+        mean_session_bytes=2048,
+        priority=priority,
+    )
+
+
+def buy_class(
+    *,
+    name: str = "buy",
+    think_time_s: float = 7.0,
+    rt_goal_ms: float | None = None,
+    buys_per_session: int = 10,
+    priority: int = 0,
+) -> ServiceClass:
+    """Build the buy service class (scripted register/buy×n/logoff session)."""
+    check_positive(think_time_s, "think_time_s")
+    check_non_negative_int(buys_per_session, "buys_per_session")
+    session = ScriptedSession(
+        prologue=(operation("register_login"),),
+        body=(operation("buy"),),
+        body_repeats=buys_per_session,
+        epilogue=(operation("logoff"),),
+    )
+    return ServiceClass(
+        name=name,
+        behaviour=session,
+        think_time_ms=s_to_ms(think_time_s),
+        rt_goal_ms=rt_goal_ms,
+        mean_session_bytes=4096,
+        priority=priority,
+    )
+
+
+# Canonical instances used throughout the experiments.
+BROWSE_CLASS = browse_class()
+BUY_CLASS = buy_class()
+
+
+def typical_workload(n_clients: int) -> dict[ServiceClass, int]:
+    """The paper's typical workload: ``n_clients`` browse clients."""
+    check_non_negative_int(n_clients, "n_clients")
+    return {BROWSE_CLASS: n_clients}
+
+
+def mixed_workload(n_clients: int, buy_fraction: float) -> dict[ServiceClass, int]:
+    """Split ``n_clients`` between buy and browse clients.
+
+    ``buy_fraction`` is the fraction of *requests* that are buy-class; since
+    all classes share the same think time and sessions are closed-loop, the
+    client split equals the request split in steady state.
+    """
+    check_non_negative_int(n_clients, "n_clients")
+    check_fraction(buy_fraction, "buy_fraction")
+    n_buy = round(n_clients * buy_fraction)
+    n_browse = n_clients - n_buy
+    workload: dict[ServiceClass, int] = {}
+    if n_browse > 0:
+        workload[BROWSE_CLASS] = n_browse
+    if n_buy > 0:
+        workload[BUY_CLASS] = n_buy
+    if not workload:
+        workload[BROWSE_CLASS] = 0
+    return workload

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite.
+
+Expensive calibrations (simulator-backed) are session-scoped so the many
+tests that need a calibrated model share one run.  Tests that only need
+small deterministic simulations build their own tiny configs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lqn.calibration import LqnCalibration, calibrate_from_simulator
+from repro.servers.catalogue import APP_SERV_F
+from repro.simulation.system import SimulationConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> SimulationConfig:
+    """A very short simulation config for functional (non-statistical) tests."""
+    return SimulationConfig(duration_s=10.0, warmup_s=2.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def short_config() -> SimulationConfig:
+    """A short-but-meaningful config for loose statistical assertions."""
+    return SimulationConfig(duration_s=30.0, warmup_s=8.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def lqn_calibration_fast() -> LqnCalibration:
+    """One shared fast LQN calibration on the reference server."""
+    return calibrate_from_simulator(
+        APP_SERV_F, clients_per_type=300, duration_s=40.0, warmup_s=10.0, seed=11
+    )

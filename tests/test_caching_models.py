@@ -1,0 +1,194 @@
+"""Tests for the caching study: Che LRU model, historical cache variable,
+and the LQN fixed-point extension."""
+
+import math
+
+import pytest
+
+from repro.caching.analysis import demonstrate_lqn_circularity, solve_lqn_with_cache
+from repro.caching.historical_cache import CacheAwareHistoricalModel, CacheObservation
+from repro.caching.lru_model import (
+    CachePopulation,
+    che_characteristic_time,
+    miss_rates,
+)
+from repro.lqn.builder import RequestTypeParameters, TradeModelParameters
+from repro.servers.catalogue import APP_SERV_S
+from repro.simulation.cache import LruSessionCache
+from repro.util.errors import CalibrationError
+from repro.util.rng import spawn_rng
+from repro.workload.trade import typical_workload
+
+PARAMS = TradeModelParameters(
+    request_types={
+        "browse": RequestTypeParameters(
+            name="browse",
+            app_demand_ms=5.376,
+            db_calls=1.14,
+            db_cpu_per_call_ms=0.8294,
+            db_disk_per_call_ms=1.2,
+        )
+    }
+)
+
+
+def population(n=100, size=1000, rate=1.0 / 7000.0, name="c"):
+    return CachePopulation(
+        name=name, n_clients=n, session_bytes=size, per_client_rate_per_ms=rate
+    )
+
+
+class TestCheModel:
+    def test_everything_fits_no_misses(self):
+        pops = [population(n=10, size=100)]
+        assert che_characteristic_time(pops, capacity_bytes=10_000) == math.inf
+        assert miss_rates(pops, 10_000) == {"c": 0.0}
+
+    def test_half_capacity_half_miss_single_class(self):
+        """With identical clients and capacity = half the working set, Che's
+        equation gives exp(-lambda*T_C) = 1/2 exactly."""
+        pops = [population(n=100, size=100)]
+        rates = miss_rates(pops, capacity_bytes=5_000)
+        assert rates["c"] == pytest.approx(0.5, rel=1e-6)
+
+    def test_characteristic_time_value(self):
+        pops = [population(n=100, size=100, rate=0.001)]
+        t_c = che_characteristic_time(pops, 5_000)
+        assert t_c == pytest.approx(math.log(2.0) / 0.001, rel=1e-6)
+
+    def test_faster_class_misses_less(self):
+        pops = [
+            population(n=100, size=100, rate=0.002, name="fast"),
+            population(n=100, size=100, rate=0.0005, name="slow"),
+        ]
+        rates = miss_rates(pops, capacity_bytes=10_000)
+        assert rates["fast"] < rates["slow"]
+
+    def test_miss_rate_decreases_with_capacity(self):
+        pops = [population(n=100, size=100)]
+        small = miss_rates(pops, 2_000)["c"]
+        large = miss_rates(pops, 8_000)["c"]
+        assert large < small
+
+    @pytest.mark.slow
+    def test_che_matches_lru_simulation(self):
+        """The analytic model should predict a simulated LRU cache's miss
+        rate under Poisson per-client accesses within a few points."""
+        rng = spawn_rng(42, "che-validation")
+        n_clients, size, capacity = 200, 100, 10_000  # half the working set
+        cache = LruSessionCache(capacity)
+        # Draw exponential inter-access times per client, merge into one
+        # timeline of (time, client) events.
+        events = []
+        for client in range(n_clients):
+            t = 0.0
+            for _ in range(60):
+                t += rng.exponential(7000.0)
+                events.append((t, client))
+        events.sort()
+        for _, client in events[: len(events) // 4]:
+            cache.access(client, size)  # warm up
+        cache.reset_stats()
+        for _, client in events[len(events) // 4:]:
+            cache.access(client, size)
+        predicted = miss_rates(
+            [population(n=n_clients, size=size, rate=1.0 / 7000.0)], capacity
+        )["c"]
+        # Che's approximation carries a small finite-population bias; a few
+        # points of absolute error is its documented accuracy regime.
+        assert cache.miss_rate() == pytest.approx(predicted, abs=0.08)
+
+    def test_empty_populations_rejected(self):
+        with pytest.raises(Exception):
+            che_characteristic_time([], 1000)
+
+
+class TestHistoricalCacheModel:
+    def _observation(self, frac, miss, mrt):
+        return CacheObservation(
+            cache_fraction=frac,
+            miss_rate=miss,
+            mean_response_ms=mrt,
+            baseline_response_ms=100.0,
+        )
+
+    def test_calibrate_and_predict(self):
+        model = CacheAwareHistoricalModel()
+        model.add_observation(self._observation(0.25, 0.8, 140.0))
+        model.add_observation(self._observation(0.5, 0.5, 125.0))
+        model.add_observation(self._observation(0.75, 0.2, 110.0))
+        model.calibrate()
+        assert model.inflation_per_miss == pytest.approx(0.5, rel=0.1)
+        predicted = model.predict_mrt_ms(100.0, 0.5)
+        assert predicted == pytest.approx(125.0, rel=0.05)
+
+    def test_full_cache_no_inflation(self):
+        model = CacheAwareHistoricalModel()
+        model.add_observation(self._observation(0.5, 0.5, 125.0))
+        model.calibrate()
+        assert model.predict_mrt_ms(100.0, 1.0) == pytest.approx(100.0)
+
+    def test_miss_rate_interpolation_clamps(self):
+        model = CacheAwareHistoricalModel()
+        model.add_observation(self._observation(0.5, 0.5, 125.0))
+        model.add_observation(self._observation(0.75, 0.2, 110.0))
+        assert model.predict_miss_rate(0.1) == pytest.approx(0.5)  # clamped low end
+        assert model.predict_miss_rate(2.0) == 0.0
+
+    def test_uncalibrated_predict_raises(self):
+        model = CacheAwareHistoricalModel()
+        model.add_observation(self._observation(0.5, 0.5, 125.0))
+        with pytest.raises(CalibrationError):
+            model.predict_mrt_ms(100.0, 0.5)
+
+    def test_needs_nonzero_miss_observation(self):
+        model = CacheAwareHistoricalModel()
+        model.add_observation(self._observation(1.5, 0.0, 100.0))
+        with pytest.raises(CalibrationError):
+            model.calibrate()
+
+    def test_inflation_property(self):
+        obs = self._observation(0.5, 0.5, 150.0)
+        assert obs.inflation == pytest.approx(0.5)
+
+
+class TestLqnCacheExtension:
+    def test_circularity_demonstrated(self):
+        workload = typical_workload(300)
+        capacity = 300 * 1024  # half of the ~2 KiB sessions fit
+        report = demonstrate_lqn_circularity(
+            APP_SERV_S, workload, PARAMS, capacity, assumed_miss_rate=0.0
+        )
+        # Assuming zero misses is inconsistent: the solution implies misses.
+        assert report.inconsistency > 0.1
+        assert len(report.dependency_chain) == 5
+
+    def test_fixed_point_converges_and_is_consistent(self):
+        workload = typical_workload(300)
+        capacity = 300 * 1024
+        result = solve_lqn_with_cache(APP_SERV_S, workload, PARAMS, capacity)
+        assert result.outer_iterations >= 2
+        # Self-consistency: feeding the converged solution back into the
+        # miss model reproduces the converged miss rates.
+        report = demonstrate_lqn_circularity(
+            APP_SERV_S,
+            workload,
+            PARAMS,
+            capacity,
+            assumed_miss_rate=result.miss_rates["browse"],
+        )
+        assert report.inconsistency < 0.01
+
+    def test_ample_cache_fixed_point_is_missless(self):
+        workload = typical_workload(100)
+        result = solve_lqn_with_cache(APP_SERV_S, workload, PARAMS, 10**9)
+        assert result.miss_rates["browse"] == pytest.approx(0.0, abs=1e-6)
+
+    def test_misses_increase_response_time(self):
+        workload = typical_workload(300)
+        missless = solve_lqn_with_cache(APP_SERV_S, workload, PARAMS, 10**9)
+        thrashing = solve_lqn_with_cache(APP_SERV_S, workload, PARAMS, 50 * 1024)
+        assert (
+            thrashing.solution.response_ms["browse"]
+            > missless.solution.response_ms["browse"]
+        )

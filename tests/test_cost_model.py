@@ -1,0 +1,91 @@
+"""Tests for the provider cost model and optimal-slack search (the paper's
+section-9.1 'current work')."""
+
+import pytest
+
+from repro.resource_manager.cost import ProviderCostModel, cost_curve, optimal_slack
+from repro.resource_manager.slack import LoadPointMetrics, SlackAnalysis, SlackSweepResult
+from repro.util.errors import ValidationError
+
+
+def analysis_with(points: dict[float, tuple[float, float]]) -> SlackAnalysis:
+    """Build a SlackAnalysis whose (failures, usage) averages are given."""
+    analysis = SlackAnalysis()
+    analysis.reference_loads = [1000]
+    for slack, (failures, usage) in points.items():
+        sweep = SlackSweepResult(slack=slack)
+        sweep.points.append(
+            LoadPointMetrics(
+                total_clients=1000,
+                slack=slack,
+                sla_failure_pct=failures,
+                server_usage_pct=usage,
+            )
+        )
+        analysis.sweeps[slack] = sweep
+    return analysis
+
+
+class TestProviderCostModel:
+    def test_linear_combination(self):
+        model = ProviderCostModel(2.0, 3.0)
+        assert model.cost(10.0, 5.0) == pytest.approx(2 * 10 + 3 * 5)
+
+    def test_breach_surcharge_applies_above_threshold(self):
+        model = ProviderCostModel(1.0, 1.0, breach_surcharge=100.0, breach_threshold_pct=0.5)
+        assert model.cost(0.4, 0.0) == pytest.approx(0.4)
+        assert model.cost(0.6, 0.0) == pytest.approx(100.6)
+
+    def test_zero_failures_never_surcharged(self):
+        model = ProviderCostModel(1.0, 1.0, breach_surcharge=100.0)
+        assert model.cost(0.0, 50.0) == pytest.approx(50.0)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValidationError):
+            ProviderCostModel(-1.0, 1.0)
+
+
+class TestCostCurve:
+    @pytest.fixture
+    def analysis(self):
+        # failures rise and usage falls as slack drops.
+        return analysis_with(
+            {1.1: (0.0, 60.0), 1.0: (1.0, 55.0), 0.5: (30.0, 40.0), 0.0: (100.0, 0.0)}
+        )
+
+    def test_curve_sorted_by_decreasing_slack(self, analysis):
+        curve = cost_curve(analysis, ProviderCostModel(1.0, 1.0))
+        assert [s for s, _ in curve] == [1.1, 1.0, 0.5, 0.0]
+
+    def test_penalty_heavy_prefers_high_slack(self, analysis):
+        winners, _ = optimal_slack(analysis, ProviderCostModel(100.0, 1.0))
+        assert winners == [1.1]
+
+    def test_hardware_heavy_prefers_low_slack(self, analysis):
+        winners, _ = optimal_slack(analysis, ProviderCostModel(0.01, 1.0))
+        assert winners == [0.0]
+
+    def test_balanced_interior_optimum(self, analysis):
+        winners, cost = optimal_slack(analysis, ProviderCostModel(1.0, 1.0))
+        assert winners == [1.0]
+        assert cost == pytest.approx(56.0)
+
+    def test_ties_reported_together(self):
+        analysis = analysis_with({1.0: (10.0, 10.0), 0.5: (10.0, 10.0)})
+        winners, _ = optimal_slack(analysis, ProviderCostModel(1.0, 1.0))
+        assert winners == [1.0, 0.5]
+
+    def test_empty_analysis_rejected(self):
+        with pytest.raises(ValidationError):
+            cost_curve(SlackAnalysis(), ProviderCostModel(1.0, 1.0))
+
+
+class TestCostExperiment:
+    @pytest.mark.slow
+    def test_optimum_moves_with_cost_posture(self):
+        from repro.experiments.fig7 import run_cost_analysis
+
+        result = run_cost_analysis(fast=True)
+        heavy = result.data["penalty-heavy (10:1)"]["optimal"]
+        lean = result.data["hardware-lean (1:10)"]["optimal"]
+        assert max(heavy) > max(lean)

@@ -1,0 +1,151 @@
+"""Tests for the section-7.1 response-time distributions and percentile
+predictions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution.percentile import PercentilePredictor
+from repro.distribution.rtdist import (
+    DoubleExponentialResponse,
+    ExponentialResponse,
+    calibrate_scale,
+    distribution_for,
+)
+from repro.util.errors import CalibrationError, ValidationError
+
+
+class TestExponentialResponse:
+    def test_cdf_values(self):
+        dist = ExponentialResponse(mean_ms=100.0)
+        assert dist.cdf(0.0) == 0.0
+        assert dist.cdf(100.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_percentile_inverse_of_cdf(self):
+        dist = ExponentialResponse(mean_ms=100.0)
+        for p in (0.1, 0.5, 0.9, 0.99):
+            assert dist.cdf(dist.percentile(p)) == pytest.approx(p)
+
+    def test_p90_is_2_3_times_mean(self):
+        dist = ExponentialResponse(mean_ms=100.0)
+        assert dist.percentile(0.9) == pytest.approx(-100.0 * math.log(0.1))
+
+    def test_negative_x_cdf_zero(self):
+        assert ExponentialResponse(100.0).cdf(-5.0) == 0.0
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValidationError):
+            ExponentialResponse(0.0)
+
+    @given(st.floats(min_value=1.0, max_value=1e6), st.floats(min_value=0.01, max_value=0.99))
+    def test_percentile_round_trip(self, mean, p):
+        dist = ExponentialResponse(mean)
+        assert dist.cdf(dist.percentile(p)) == pytest.approx(p, abs=1e-9)
+
+
+class TestDoubleExponentialResponse:
+    def test_median_at_location(self):
+        dist = DoubleExponentialResponse(location_ms=1000.0, scale_ms=204.1)
+        assert dist.cdf(1000.0) == pytest.approx(0.5)
+        assert dist.percentile(0.5) == pytest.approx(1000.0)
+
+    def test_cdf_continuous_at_location(self):
+        dist = DoubleExponentialResponse(location_ms=1000.0, scale_ms=204.1)
+        assert dist.cdf(1000.0 - 1e-9) == pytest.approx(dist.cdf(1000.0 + 1e-9), abs=1e-6)
+
+    def test_symmetry_around_location(self):
+        dist = DoubleExponentialResponse(location_ms=1000.0, scale_ms=200.0)
+        assert dist.cdf(1000.0 - 100.0) == pytest.approx(1.0 - dist.cdf(1000.0 + 100.0))
+
+    def test_percentile_inverse_both_branches(self):
+        dist = DoubleExponentialResponse(location_ms=1000.0, scale_ms=200.0)
+        for p in (0.05, 0.3, 0.5, 0.7, 0.95):
+            assert dist.cdf(dist.percentile(p)) == pytest.approx(p)
+
+    def test_paper_scale_value_p90(self):
+        # p90 = a + b*ln(5) for the Laplace distribution.
+        dist = DoubleExponentialResponse(location_ms=1000.0, scale_ms=204.1)
+        assert dist.percentile(0.9) == pytest.approx(1000.0 + 204.1 * math.log(5.0))
+
+    @given(
+        st.floats(min_value=10.0, max_value=1e5),
+        st.floats(min_value=1.0, max_value=1e4),
+        st.floats(min_value=0.02, max_value=0.98),
+    )
+    def test_round_trip_property(self, location, scale, p):
+        dist = DoubleExponentialResponse(location, scale)
+        assert dist.cdf(dist.percentile(p)) == pytest.approx(p, abs=1e-9)
+
+    @settings(max_examples=20)
+    @given(st.floats(min_value=10.0, max_value=1e4))
+    def test_cdf_monotone(self, location):
+        dist = DoubleExponentialResponse(location, 100.0)
+        xs = np.linspace(0.0, 3 * location, 50)
+        cdfs = [dist.cdf(float(x)) for x in xs]
+        assert all(b >= a for a, b in zip(cdfs, cdfs[1:]))
+
+
+class TestCalibrateScale:
+    def test_mle_is_mean_absolute_deviation(self):
+        samples = [900.0, 1100.0, 800.0, 1200.0]
+        assert calibrate_scale(samples, 1000.0) == pytest.approx(150.0)
+
+    def test_laplace_samples_recover_scale(self):
+        rng = np.random.default_rng(0)
+        samples = rng.laplace(loc=1000.0, scale=204.1, size=100_000)
+        assert calibrate_scale(samples, 1000.0) == pytest.approx(204.1, rel=0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_scale([], 100.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_scale([100.0, 100.0], 100.0)
+
+
+class TestDistributionFor:
+    def test_regime_selection(self):
+        below = distribution_for(50.0, saturated=False, scale_ms=204.1)
+        above = distribution_for(2000.0, saturated=True, scale_ms=204.1)
+        assert isinstance(below, ExponentialResponse)
+        assert isinstance(above, DoubleExponentialResponse)
+
+    def test_saturated_located_at_mean(self):
+        dist = distribution_for(2000.0, saturated=True, scale_ms=204.1)
+        assert dist.location_ms == 2000.0
+
+
+class TestPercentilePredictor:
+    @pytest.fixture
+    def predictor(self):
+        return PercentilePredictor(
+            predict_mean_ms=lambda server, n: 10.0 + 0.5 * n,
+            clients_at_max=lambda server: 1000.0,
+            scale_ms=204.1,
+        )
+
+    def test_regime_switch_at_max_load(self, predictor):
+        assert predictor.is_saturated("s", 999) is False
+        assert predictor.is_saturated("s", 1000) is True
+
+    def test_unsaturated_uses_exponential(self, predictor):
+        mean = 10.0 + 0.5 * 100
+        expected = ExponentialResponse(mean).percentile(0.9)
+        assert predictor.predict_percentile_ms("s", 100, 0.9) == pytest.approx(expected)
+
+    def test_saturated_uses_double_exponential(self, predictor):
+        mean = 10.0 + 0.5 * 2000
+        expected = DoubleExponentialResponse(mean, 204.1).percentile(0.9)
+        assert predictor.predict_percentile_ms("s", 2000, 0.9) == pytest.approx(expected)
+
+    def test_fraction_within(self, predictor):
+        frac = predictor.predict_fraction_within("s", 100, 200.0)
+        assert 0.9 < frac <= 1.0
+
+    def test_invalid_percentile_rejected(self, predictor):
+        with pytest.raises(ValidationError):
+            predictor.predict_percentile_ms("s", 100, 1.5)

@@ -1,0 +1,60 @@
+"""Tests for the memoised ground-truth measurement layer."""
+
+import os
+
+import pytest
+
+from repro.experiments import ground_truth as gt
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the disk cache at a temp dir and clear the memory cache."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    gt.clear_memory_cache()
+    yield tmp_path
+    gt.clear_memory_cache()
+
+
+class TestMeasuredPointCache:
+    def test_memoised_in_process(self, isolated_cache):
+        a = gt.measured_point("AppServF", 60, fast=True)
+        b = gt.measured_point("AppServF", 60, fast=True)
+        assert a is b  # same object: memory cache hit
+
+    def test_disk_cache_survives_memory_clear(self, isolated_cache):
+        a = gt.measured_point("AppServF", 60, fast=True)
+        files_before = list((isolated_cache / ".repro-cache").glob("*.pkl"))
+        assert files_before
+        gt.clear_memory_cache()
+        b = gt.measured_point("AppServF", 60, fast=True)
+        assert a is not b
+        assert b.mean_response_ms == a.mean_response_ms  # loaded from disk
+
+    def test_different_parameters_different_entries(self, isolated_cache):
+        a = gt.measured_point("AppServF", 60, fast=True)
+        b = gt.measured_point("AppServF", 80, fast=True)
+        assert a is not b
+
+    def test_disk_cache_disabled_by_env(self, isolated_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_DISK_CACHE", "1")
+        gt.measured_point("AppServF", 60, fast=True)
+        assert not (isolated_cache / ".repro-cache").exists()
+
+    def test_seed_offset_changes_run(self, isolated_cache):
+        a = gt.measured_point("AppServF", 60, fast=True)
+        b = gt.measured_point("AppServF", 60, fast=True, seed_offset=5)
+        assert a.mean_response_ms != b.mean_response_ms
+
+
+class TestDerivedCaches:
+    def test_benchmarked_max_throughput_cached_and_sane(self, isolated_cache):
+        first = gt.benchmarked_max_throughput("AppServF", fast=True)
+        second = gt.benchmarked_max_throughput("AppServF", fast=True)
+        assert first == second
+        assert first == pytest.approx(186.0, rel=0.08)
+
+    def test_mix_observations_ordered(self, isolated_cache):
+        observations = gt.lqn_mix_observations(fast=True)
+        assert [b for b, _ in observations] == [0.0, 0.25]
+        assert observations[1][1] < observations[0][1]

@@ -1,0 +1,79 @@
+"""Heterogeneous think times — "heterogeneous think-times are supported by
+all three methods" (section 3.1).  Validates that classes with different
+think times coexist correctly in the simulator and the layered model, and
+that the historical gradient relationship tracks the think time."""
+
+import pytest
+
+from repro.historical.throughput import gradient_from_think_time
+from repro.lqn.builder import RequestTypeParameters, TradeModelParameters, build_trade_model
+from repro.lqn.solver import LqnSolver
+from repro.servers.catalogue import APP_SERV_F
+from repro.simulation.system import SimulationConfig, simulate_deployment
+from repro.workload.trade import browse_class
+
+PARAMS = TradeModelParameters(
+    request_types={
+        "browse": RequestTypeParameters(
+            name="browse",
+            app_demand_ms=5.376,
+            db_calls=1.14,
+            db_cpu_per_call_ms=0.8294,
+            db_disk_per_call_ms=1.2,
+        )
+    }
+)
+
+
+@pytest.fixture(scope="module")
+def mixed_think_run():
+    impatient = browse_class(name="impatient", think_time_s=2.0)
+    relaxed = browse_class(name="relaxed", think_time_s=14.0)
+    # long window: slow thinkers complete only a handful of cycles per
+    # minute, so short windows bias their measured rates upward.
+    config = SimulationConfig(duration_s=120.0, warmup_s=30.0, seed=17)
+    return simulate_deployment(
+        APP_SERV_F, {impatient: 150, relaxed: 150}, config
+    )
+
+
+class TestSimulator:
+    def test_per_client_rate_scales_inversely_with_think(self, mixed_think_run):
+        rate_impatient = mixed_think_run.per_class_throughput["impatient"] / 150
+        rate_relaxed = mixed_think_run.per_class_throughput["relaxed"] / 150
+        assert rate_impatient / rate_relaxed == pytest.approx(14.0 / 2.0, rel=0.1)
+
+    def test_response_times_similar_below_saturation(self, mixed_think_run):
+        """Think time shapes load, not the per-request service path."""
+        assert mixed_think_run.per_class_mean_ms["impatient"] == pytest.approx(
+            mixed_think_run.per_class_mean_ms["relaxed"], rel=0.3
+        )
+
+
+class TestLayeredModel:
+    def test_solver_handles_heterogeneous_thinks(self, mixed_think_run):
+        impatient = browse_class(name="impatient", think_time_s=2.0)
+        relaxed = browse_class(name="relaxed", think_time_s=14.0)
+        model = build_trade_model(
+            APP_SERV_F, {impatient: 150, relaxed: 150}, PARAMS
+        )
+        solution = LqnSolver().solve(model)
+        assert solution.throughput_req_per_s["impatient"] == pytest.approx(
+            mixed_think_run.per_class_throughput["impatient"], rel=0.06
+        )
+        assert solution.throughput_req_per_s["relaxed"] == pytest.approx(
+            mixed_think_run.per_class_throughput["relaxed"], rel=0.06
+        )
+
+
+class TestHistoricalGradient:
+    def test_gradient_follows_think_time(self):
+        # m = 1/(Z + R0): halving the think time roughly doubles m.
+        assert gradient_from_think_time(3500.0) == pytest.approx(
+            2 * gradient_from_think_time(7000.0), rel=1e-9
+        )
+
+    def test_base_response_lowers_gradient(self):
+        assert gradient_from_think_time(7000.0, base_response_ms=1000.0) < (
+            gradient_from_think_time(7000.0)
+        )

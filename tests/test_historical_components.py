@@ -1,0 +1,220 @@
+"""Tests for the historical method's supporting components: data store,
+throughput relationship, relationship 2 (scaling) and relationship 3 (mix)."""
+
+import math
+
+import pytest
+
+from repro.historical.datastore import HistoricalDataPoint, HistoricalDataStore
+from repro.historical.mix import BuyMixModel
+from repro.historical.relationships import LowerEquation, UpperEquation
+from repro.historical.scaling import MaxThroughputScaling, ServerCalibration
+from repro.historical.throughput import ThroughputModel, gradient_from_think_time
+from repro.util.errors import CalibrationError, ValidationError
+
+
+def dp(server, n, mrt, tput, buy=0.0):
+    return HistoricalDataPoint(
+        server=server,
+        n_clients=n,
+        mean_response_ms=mrt,
+        throughput_req_per_s=tput,
+        n_samples=50,
+        buy_fraction=buy,
+    )
+
+
+class TestDataStore:
+    def test_add_and_query(self):
+        store = HistoricalDataStore()
+        store.add(dp("F", 100, 12.0, 14.0))
+        store.add(dp("F", 500, 20.0, 70.0))
+        store.add(dp("VF", 100, 9.0, 14.0))
+        assert len(store) == 3
+        assert store.servers() == ["F", "VF"]
+        assert [p.n_clients for p in store.for_server("F")] == [100, 500]
+
+    def test_query_sorted_by_clients(self):
+        store = HistoricalDataStore()
+        store.add(dp("F", 500, 20.0, 70.0))
+        store.add(dp("F", 100, 12.0, 14.0))
+        assert [p.n_clients for p in store.for_server("F")] == [100, 500]
+
+    def test_mix_filtering(self):
+        store = HistoricalDataStore()
+        store.add(dp("F", 100, 12.0, 14.0, buy=0.0))
+        store.add(dp("F", 100, 15.0, 13.0, buy=0.25))
+        assert len(store.for_server("F", buy_fraction=0.0)) == 1
+        assert len(store.for_server("F", buy_fraction=0.25)) == 1
+        assert len(store.for_server("F", buy_fraction=None)) == 2
+
+    def test_range_filtering(self):
+        store = HistoricalDataStore()
+        for n in (100, 500, 900):
+            store.add(dp("F", n, 10.0, 14.0))
+        assert len(store.for_server("F", min_clients=200, max_clients=800)) == 1
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(ValidationError):
+            HistoricalDataPoint("F", 10, -1.0, 10.0, 50)
+
+    def test_subsample_from_simulation(self, tiny_config):
+        from repro.servers.catalogue import APP_SERV_F
+        from repro.simulation.system import simulate_deployment
+        from repro.workload.trade import typical_workload
+
+        result = simulate_deployment(APP_SERV_F, typical_workload(150), tiny_config)
+        store = HistoricalDataStore()
+        point_full = store.add_from_simulation("F", 150, result)
+        point_sub = store.add_from_simulation("F", 150, result, n_samples=20, seed=1)
+        assert point_full.n_samples == result.samples
+        assert point_sub.n_samples == 20
+        # Sub-sampled mean is near but (almost surely) not equal to the full mean.
+        assert point_sub.mean_response_ms == pytest.approx(
+            point_full.mean_response_ms, rel=0.5
+        )
+
+    def test_subsample_deterministic_per_seed(self, tiny_config):
+        from repro.servers.catalogue import APP_SERV_F
+        from repro.simulation.system import simulate_deployment
+        from repro.workload.trade import typical_workload
+
+        result = simulate_deployment(APP_SERV_F, typical_workload(150), tiny_config)
+        store = HistoricalDataStore()
+        a = store.add_from_simulation("F", 150, result, n_samples=20, seed=1)
+        b = store.add_from_simulation("F", 150, result, n_samples=20, seed=1)
+        assert a.mean_response_ms == b.mean_response_ms
+
+
+class TestThroughputModel:
+    def test_gradient_from_think_time_is_paper_value(self):
+        # 7 s think time -> m = 1/7 = 0.1428..., the paper's 0.14.
+        assert gradient_from_think_time(7000.0) == pytest.approx(0.1428, abs=0.001)
+
+    def test_prediction_ramps_then_flattens(self):
+        model = ThroughputModel(gradient=0.14, max_throughput={"F": 186.0})
+        assert model.predict_throughput("F", 100) == pytest.approx(14.0)
+        assert model.predict_throughput("F", 10_000) == 186.0
+
+    def test_clients_at_max(self):
+        model = ThroughputModel(gradient=0.14, max_throughput={"F": 186.0})
+        assert model.clients_at_max("F") == pytest.approx(186.0 / 0.14)
+
+    def test_calibrate_pools_pre_saturation_points(self):
+        points = {
+            "F": [dp("F", 100, 10.0, 14.0), dp("F", 500, 12.0, 70.0), dp("F", 3000, 5000.0, 186.0)],
+            "VF": [dp("VF", 100, 8.0, 14.0)],
+        }
+        model = ThroughputModel.calibrate(points, {"F": 186.0, "VF": 320.0})
+        assert model.gradient == pytest.approx(0.14, abs=0.003)
+
+    def test_calibrate_requires_max_throughputs(self):
+        with pytest.raises(CalibrationError):
+            ThroughputModel.calibrate({"F": [dp("F", 100, 10.0, 14.0)]}, {})
+
+    def test_unknown_server_raises(self):
+        model = ThroughputModel(gradient=0.14, max_throughput={})
+        with pytest.raises(CalibrationError):
+            model.predict_throughput("X", 10)
+
+    def test_scalability_curve_vectorised(self):
+        model = ThroughputModel(gradient=0.14, max_throughput={"F": 186.0})
+        curve = model.scalability_curve("F", [100, 2000])
+        assert curve[0] == pytest.approx(14.0)
+        assert curve[1] == 186.0
+
+    def test_accuracy_versus(self):
+        model = ThroughputModel(gradient=0.14, max_throughput={"F": 186.0})
+        points = {"F": [dp("F", 100, 10.0, 14.0)]}
+        assert model.accuracy_versus(points) == pytest.approx(0.0, abs=0.01)
+
+
+class TestScaling:
+    @pytest.fixture
+    def calibrations(self):
+        return [
+            ServerCalibration(
+                server="F",
+                max_throughput_req_per_s=186.0,
+                lower=LowerEquation(c_l=8.5, lambda_l=1.0e-3),
+                upper=UpperEquation(lambda_u=5.4, c_u=-6900.0),
+            ),
+            ServerCalibration(
+                server="VF",
+                max_throughput_req_per_s=320.0,
+                lower=LowerEquation(c_l=7.5, lambda_l=5.8e-4),
+                upper=UpperEquation(lambda_u=3.1, c_u=-7000.0),
+            ),
+        ]
+
+    def test_interpolates_calibration_points_exactly(self, calibrations):
+        scaling = MaxThroughputScaling.calibrate(calibrations)
+        # Two calibrations: the fits pass through both points.
+        assert scaling.predict_c_l(186.0) == pytest.approx(8.5, rel=1e-6)
+        assert scaling.predict_lambda_l(320.0) == pytest.approx(5.8e-4, rel=1e-6)
+
+    def test_lambda_u_inverse_proportionality(self, calibrations):
+        scaling = MaxThroughputScaling.calibrate(calibrations)
+        # lambda_u * mx is constant: predictions scale as 1/mx.
+        assert scaling.predict_lambda_u(100.0) == pytest.approx(
+            scaling.predict_lambda_u(200.0) * 2.0
+        )
+
+    def test_c_u_constant(self, calibrations):
+        scaling = MaxThroughputScaling.calibrate(calibrations)
+        assert scaling.predict_c_u(86.0) == scaling.predict_c_u(320.0)
+        assert scaling.predict_c_u(86.0) == pytest.approx(-6950.0)
+
+    def test_new_server_extrapolation_sensible(self, calibrations):
+        scaling = MaxThroughputScaling.calibrate(calibrations)
+        lower, upper = scaling.predict_equations(86.0)
+        # Slower server: larger lambda_L (steeper growth), larger lambda_U.
+        assert lower.lambda_l > 1.0e-3
+        assert upper.lambda_u > 5.4
+
+    def test_needs_two_calibrations(self, calibrations):
+        with pytest.raises(CalibrationError):
+            MaxThroughputScaling.calibrate(calibrations[:1])
+
+    def test_non_positive_lambda_rejected(self, calibrations):
+        bad = ServerCalibration(
+            server="X",
+            max_throughput_req_per_s=100.0,
+            lower=LowerEquation(c_l=5.0, lambda_l=-1e-4),
+            upper=UpperEquation(lambda_u=1.0, c_u=0.0),
+        )
+        with pytest.raises(CalibrationError, match="positive"):
+            MaxThroughputScaling.calibrate([calibrations[0], bad])
+
+
+class TestMixModel:
+    def test_calibrate_from_paper_anchors(self):
+        # The paper's AppServF anchors: 189 req/s at 0% buy, 158 at 25%.
+        model = BuyMixModel.calibrate("F", [(0.0, 189.0), (0.25, 158.0)])
+        assert model.established_max_throughput(0.0) == pytest.approx(189.0)
+        assert model.established_max_throughput(0.25) == pytest.approx(158.0)
+        assert model.slope < 0  # buys are heavier
+
+    def test_equation_5_scaling(self):
+        model = BuyMixModel.calibrate("F", [(0.0, 189.0), (0.25, 158.0)])
+        # mx_N(b) = mx_E(b) * mx_N(0) / mx_E(0), paper equation 5.
+        scaled = model.scaled_max_throughput(0.25, 86.0)
+        assert scaled == pytest.approx(158.0 * 86.0 / 189.0)
+
+    def test_scaling_at_zero_buy_returns_new_max(self):
+        model = BuyMixModel.calibrate("F", [(0.0, 189.0), (0.25, 158.0)])
+        assert model.scaled_max_throughput(0.0, 86.0) == pytest.approx(86.0)
+
+    def test_interpolation_is_linear(self):
+        model = BuyMixModel.calibrate("F", [(0.0, 189.0), (0.25, 158.0)])
+        mid = model.established_max_throughput(0.125)
+        assert mid == pytest.approx((189.0 + 158.0) / 2)
+
+    def test_needs_two_observations(self):
+        with pytest.raises(CalibrationError):
+            BuyMixModel.calibrate("F", [(0.0, 189.0)])
+
+    def test_non_positive_extrapolation_rejected(self):
+        model = BuyMixModel.calibrate("F", [(0.0, 10.0), (0.25, 1.0)])
+        with pytest.raises(CalibrationError):
+            model.established_max_throughput(1.0)

@@ -1,0 +1,148 @@
+"""Tests for the least-squares trend fitting used by the historical method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.historical.fitting import (
+    fit_exponential,
+    fit_linear,
+    fit_linear_through_origin,
+    fit_power,
+)
+from repro.util.errors import CalibrationError
+
+
+class TestLinear:
+    def test_exact_recovery(self):
+        x = [1.0, 2.0, 3.0]
+        y = [2 * v + 1 for v in x]
+        fit = fit_linear(x, y)
+        slope, intercept = fit.params
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_fit_reasonable(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 50)
+        y = 3 * x + 5 + rng.normal(0, 0.1, 50)
+        slope, intercept = fit_linear(x, y).params
+        assert slope == pytest.approx(3.0, abs=0.05)
+        assert intercept == pytest.approx(5.0, abs=0.3)
+
+    def test_two_points_exact(self):
+        slope, intercept = fit_linear([0.0, 1.0], [1.0, 3.0]).params
+        assert (slope, intercept) == (pytest.approx(2.0), pytest.approx(1.0))
+
+    def test_one_point_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1.0], [1.0])
+
+    def test_identical_x_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1.0, 1.0], [1.0, 2.0])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1.0, float("nan")], [1.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear([1.0, 2.0], [1.0])
+
+    @settings(max_examples=30)
+    @given(
+        slope=st.floats(min_value=-100, max_value=100),
+        intercept=st.floats(min_value=-100, max_value=100),
+    )
+    def test_recovers_any_line(self, slope, intercept):
+        x = [0.0, 1.0, 2.0, 5.0]
+        y = [slope * v + intercept for v in x]
+        got_slope, got_intercept = fit_linear(x, y).params
+        assert got_slope == pytest.approx(slope, abs=1e-6)
+        assert got_intercept == pytest.approx(intercept, abs=1e-6)
+
+
+class TestLinearThroughOrigin:
+    def test_exact_recovery(self):
+        fit = fit_linear_through_origin([1.0, 2.0], [0.14, 0.28])
+        assert fit.params[0] == pytest.approx(0.14)
+
+    def test_single_point_allowed(self):
+        assert fit_linear_through_origin([10.0], [1.4]).params[0] == pytest.approx(0.14)
+
+    def test_all_zero_x_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_linear_through_origin([0.0, 0.0], [1.0, 2.0])
+
+
+class TestExponential:
+    def test_exact_recovery(self):
+        c, lam = 8.5, 1.3e-3
+        x = [100.0, 500.0, 900.0]
+        y = [c * np.exp(lam * v) for v in x]
+        got_c, got_lam = fit_exponential(x, y).params
+        assert got_c == pytest.approx(c, rel=1e-9)
+        assert got_lam == pytest.approx(lam, rel=1e-9)
+
+    def test_negative_rate_recovered(self):
+        c, lam = 100.0, -0.01
+        x = [0.0, 50.0, 100.0]
+        y = [c * np.exp(lam * v) for v in x]
+        _, got_lam = fit_exponential(x, y).params
+        assert got_lam == pytest.approx(lam, rel=1e-9)
+
+    def test_non_positive_y_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_exponential([1.0, 2.0], [1.0, 0.0])
+
+    @settings(max_examples=30)
+    @given(
+        c=st.floats(min_value=0.1, max_value=1e3),
+        lam=st.floats(min_value=-0.01, max_value=0.01),
+    )
+    def test_round_trip(self, c, lam):
+        x = [10.0, 300.0, 700.0]
+        y = [c * np.exp(lam * v) for v in x]
+        got_c, got_lam = fit_exponential(x, y).params
+        assert got_c == pytest.approx(c, rel=1e-6)
+        assert got_lam == pytest.approx(lam, abs=1e-9)
+
+
+class TestPower:
+    def test_exact_recovery(self):
+        big_c, delta = 0.2, -1.3
+        x = [90.0, 190.0, 320.0]
+        y = [big_c * v**delta for v in x]
+        got_c, got_delta = fit_power(x, y).params
+        assert got_c == pytest.approx(big_c, rel=1e-9)
+        assert got_delta == pytest.approx(delta, rel=1e-9)
+
+    def test_non_positive_x_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_power([0.0, 1.0], [1.0, 2.0])
+
+    def test_non_positive_y_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_power([1.0, 2.0], [-1.0, 2.0])
+
+    @settings(max_examples=30)
+    @given(
+        coeff=st.floats(min_value=1e-4, max_value=1e3),
+        exponent=st.floats(min_value=-3.0, max_value=3.0),
+    )
+    def test_round_trip(self, coeff, exponent):
+        x = [86.0, 186.0, 320.0]
+        y = [coeff * v**exponent for v in x]
+        got_c, got_delta = fit_power(x, y).params
+        assert got_c == pytest.approx(coeff, rel=1e-5)
+        assert got_delta == pytest.approx(exponent, abs=1e-7)
+
+
+def test_fit_result_iterable():
+    fit = fit_linear([0.0, 1.0], [0.0, 2.0])
+    slope, intercept = fit
+    assert slope == pytest.approx(2.0)
+    assert fit.n_points == 2

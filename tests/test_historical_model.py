@@ -1,0 +1,163 @@
+"""Tests for the assembled HistoricalModel (calibration + prediction)."""
+
+import pytest
+
+from repro.historical.datastore import HistoricalDataPoint, HistoricalDataStore
+from repro.historical.model import HistoricalModel
+from repro.util.errors import CalibrationError
+
+# A synthetic but internally consistent world: two established servers whose
+# response curves follow known equations, letting assertions be exact-ish.
+MX = {"F": 186.0, "VF": 320.0, "S": 86.0}
+M = 0.14
+
+
+def synthetic_mrt(server: str, n: int) -> float:
+    """Ground truth: exponential below saturation, linear above."""
+    n_star = MX[server] / M
+    c_l = 8.0 * (186.0 / MX[server]) ** 0.2
+    lam = 1.1 / n_star  # lambda_L * n_star constant across servers
+    if n <= n_star:
+        return c_l * pow(2.718281828, lam * n)
+    return (n - n_star) / (MX[server] / 1000.0) + c_l * 3.0
+
+
+def build_store(servers=("F", "VF")) -> HistoricalDataStore:
+    store = HistoricalDataStore()
+    for server in servers:
+        n_star = MX[server] / M
+        for frac in (0.35, 0.66, 1.15, 1.6):
+            n = int(frac * n_star)
+            store.add(
+                HistoricalDataPoint(
+                    server=server,
+                    n_clients=n,
+                    mean_response_ms=synthetic_mrt(server, n),
+                    throughput_req_per_s=min(M * n, MX[server]),
+                    n_samples=50,
+                )
+            )
+    return store
+
+
+@pytest.fixture(scope="module")
+def model():
+    return HistoricalModel.calibrate(build_store(), MX, new_servers=("S",))
+
+
+class TestCalibration:
+    def test_gradient_recovered(self, model):
+        assert model.throughput_model.gradient == pytest.approx(M, rel=0.01)
+
+    def test_established_servers_modelled(self, model):
+        assert set(model.server_calibrations) == {"F", "VF"}
+
+    def test_new_server_added_via_relationship2(self, model):
+        assert "S" in model.server_models
+        assert "S" not in model.server_calibrations
+
+    def test_parameter_table_has_all_servers(self, model):
+        assert [row[0] for row in model.parameter_table()] == ["F", "S", "VF"]
+
+    def test_needs_data(self):
+        with pytest.raises(CalibrationError):
+            HistoricalModel.calibrate(HistoricalDataStore(), MX)
+
+    def test_new_server_needs_two_established(self):
+        store = build_store(servers=("F",))
+        with pytest.raises(CalibrationError):
+            HistoricalModel.calibrate(store, {"F": 186.0, "S": 86.0}, new_servers=("S",))
+
+    def test_new_server_needs_benchmark(self):
+        store = build_store()
+        with pytest.raises(CalibrationError, match="max throughput"):
+            HistoricalModel.calibrate(
+                store, {"F": 186.0, "VF": 320.0}, new_servers=("S",)
+            )
+
+
+class TestPrediction:
+    def test_established_lower_region_accurate(self, model):
+        for server in ("F", "VF"):
+            n = int(0.5 * MX[server] / M)
+            predicted = model.predict_mrt_ms(server, n)
+            assert predicted == pytest.approx(synthetic_mrt(server, n), rel=0.05)
+
+    def test_established_upper_region_accurate(self, model):
+        for server in ("F", "VF"):
+            n = int(1.4 * MX[server] / M)
+            predicted = model.predict_mrt_ms(server, n)
+            assert predicted == pytest.approx(synthetic_mrt(server, n), rel=0.1)
+
+    def test_new_server_predictions_close(self, model):
+        """Relationship 2 should recover the synthetic world's S curve
+        because its parameters follow smooth functions of max throughput."""
+        n = int(0.5 * MX["S"] / M)
+        predicted = model.predict_mrt_ms("S", n)
+        assert predicted == pytest.approx(synthetic_mrt("S", n), rel=0.25)
+
+    def test_throughput_prediction(self, model):
+        assert model.predict_throughput("F", 500) == pytest.approx(0.14 * 500, rel=0.02)
+        assert model.predict_throughput("F", 5000) == pytest.approx(186.0, rel=0.01)
+
+    def test_max_clients_closed_form(self, model):
+        goal = 1000.0
+        capacity = model.max_clients("F", goal)
+        assert model.predict_mrt_ms("F", capacity) <= goal * 1.01
+        assert model.predict_mrt_ms("F", capacity + 10) > goal * 0.95
+
+    def test_unknown_server_raises(self, model):
+        with pytest.raises(CalibrationError):
+            model.predict_mrt_ms("nope", 100)
+
+    def test_predictions_counted(self, model):
+        before = model.predictions_made
+        model.predict_mrt_ms("F", 100)
+        assert model.predictions_made == before + 1
+
+
+class TestMixPredictions:
+    @pytest.fixture(scope="class")
+    def mix_model(self):
+        return HistoricalModel.calibrate(
+            build_store(),
+            MX,
+            new_servers=("S",),
+            mix_observations=[(0.0, 189.0), (0.25, 158.0)],
+            mix_server="F",
+        )
+
+    def test_buy_fraction_lowers_capacity(self, mix_model):
+        typical = mix_model.max_clients("S", 600.0, buy_fraction=0.0)
+        mixed = mix_model.max_clients("S", 600.0, buy_fraction=0.25)
+        assert mixed < typical
+
+    def test_buy_fraction_raises_response(self, mix_model):
+        n = 300
+        assert mix_model.predict_mrt_ms("S", n, buy_fraction=0.25) > mix_model.predict_mrt_ms(
+            "S", n, buy_fraction=0.0
+        )
+
+    def test_mix_throughput_capped_lower(self, mix_model):
+        flat_out = mix_model.predict_throughput("S", 10_000, buy_fraction=0.25)
+        assert flat_out == pytest.approx(86.0 * 158.0 / 189.0, rel=0.01)
+
+    def test_mix_needs_relationship3(self, model):
+        with pytest.raises(CalibrationError, match="relationship 3"):
+            model.predict_mrt_ms("F", 100, buy_fraction=0.25)
+
+    def test_mix_cache_reuses_models(self, mix_model):
+        mix_model.predict_mrt_ms("S", 100, buy_fraction=0.1)
+        cached = dict(mix_model._mix_cache)
+        mix_model.predict_mrt_ms("S", 200, buy_fraction=0.1)
+        assert dict(mix_model._mix_cache) == cached
+
+
+class TestDataBudgets:
+    def test_limited_points_still_calibrate(self):
+        model = HistoricalModel.calibrate(build_store(), MX, n_ldp=2, n_udp=2)
+        assert model.predict_mrt_ms("F", 400) > 0
+
+    def test_one_point_budget_rejected(self):
+        with pytest.raises(CalibrationError):
+            HistoricalModel.calibrate(build_store(), MX, n_ldp=1)

@@ -1,0 +1,160 @@
+"""Tests for relationship 1: lower/upper/transition equations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.historical.datastore import HistoricalDataPoint
+from repro.historical.relationships import (
+    LowerEquation,
+    PiecewiseResponseModel,
+    TransitionRelationship,
+    UpperEquation,
+)
+from repro.util.errors import CalibrationError
+
+
+def point(server, n, mrt, tput=100.0, n_samples=50):
+    return HistoricalDataPoint(
+        server=server,
+        n_clients=n,
+        mean_response_ms=mrt,
+        throughput_req_per_s=tput,
+        n_samples=n_samples,
+    )
+
+
+class TestLowerEquation:
+    def test_predict(self):
+        eq = LowerEquation(c_l=10.0, lambda_l=0.001)
+        assert eq.predict_ms(0) == pytest.approx(10.0)
+        assert eq.predict_ms(1000) == pytest.approx(10.0 * math.e)
+
+    def test_invert_is_inverse(self):
+        eq = LowerEquation(c_l=10.0, lambda_l=0.002)
+        assert eq.invert(eq.predict_ms(750.0)) == pytest.approx(750.0)
+
+    def test_invert_flat_equation(self):
+        eq = LowerEquation(c_l=10.0, lambda_l=0.0)
+        assert eq.invert(20.0) == math.inf
+        assert eq.invert(5.0) == 0.0
+
+    def test_fit_from_two_points(self):
+        eq = LowerEquation.fit([point("s", 100, 12.0), point("s", 500, 30.0)])
+        assert eq.predict_ms(100) == pytest.approx(12.0, rel=1e-9)
+        assert eq.predict_ms(500) == pytest.approx(30.0, rel=1e-9)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(CalibrationError):
+            LowerEquation.fit([point("s", 100, 12.0)])
+
+    @settings(max_examples=25)
+    @given(
+        c=st.floats(min_value=1.0, max_value=500.0),
+        lam=st.floats(min_value=1e-5, max_value=5e-3),
+        mrt=st.floats(min_value=1.0, max_value=1e5),
+    )
+    def test_invert_round_trip_property(self, c, lam, mrt):
+        eq = LowerEquation(c_l=c, lambda_l=lam)
+        n = eq.invert(mrt)
+        assert eq.predict_ms(n) == pytest.approx(mrt, rel=1e-6)
+
+
+class TestUpperEquation:
+    def test_predict_linear(self):
+        eq = UpperEquation(lambda_u=5.0, c_u=-6000.0)
+        assert eq.predict_ms(1400) == pytest.approx(1000.0)
+
+    def test_invert(self):
+        eq = UpperEquation(lambda_u=5.0, c_u=-6000.0)
+        assert eq.invert(1000.0) == pytest.approx(1400.0)
+
+    def test_fit_exact(self):
+        eq = UpperEquation.fit([point("s", 1500, 500.0), point("s", 2000, 3000.0)])
+        assert eq.predict_ms(1500) == pytest.approx(500.0)
+        assert eq.predict_ms(2000) == pytest.approx(3000.0)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(CalibrationError):
+            UpperEquation.fit([point("s", 1500, 500.0)])
+
+
+class TestTransition:
+    def test_through_anchors(self):
+        tr = TransitionRelationship.through(660.0, 30.0, 1100.0, 500.0)
+        assert tr.predict_ms(660.0) == pytest.approx(30.0)
+        assert tr.predict_ms(1100.0) == pytest.approx(500.0)
+
+    def test_monotone_between_anchors(self):
+        tr = TransitionRelationship.through(660.0, 30.0, 1100.0, 500.0)
+        values = [tr.predict_ms(n) for n in range(660, 1101, 10)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_invert(self):
+        tr = TransitionRelationship.through(660.0, 30.0, 1100.0, 500.0)
+        assert tr.invert(tr.predict_ms(900.0)) == pytest.approx(900.0)
+
+    def test_reversed_anchors_rejected(self):
+        with pytest.raises(Exception):
+            TransitionRelationship.through(1100.0, 30.0, 660.0, 500.0)
+
+
+class TestPiecewiseModel:
+    @pytest.fixture
+    def model(self):
+        lower = LowerEquation(c_l=10.0, lambda_l=0.001)
+        upper = UpperEquation(lambda_u=5.0, c_u=-6000.0)
+        return PiecewiseResponseModel.assemble("s", lower, upper, n_at_max=1300.0)
+
+    def test_lower_region_uses_lower_equation(self, model):
+        n = 400.0  # below 0.66 * 1300 = 858
+        assert model.predict_ms(n) == pytest.approx(model.lower.predict_ms(n))
+
+    def test_upper_region_uses_upper_equation(self, model):
+        n = 2000.0  # above 1.1 * 1300 = 1430
+        assert model.predict_ms(n) == pytest.approx(model.upper.predict_ms(n))
+
+    def test_transition_region_uses_transition(self, model):
+        n = 1000.0
+        assert model.predict_ms(n) == pytest.approx(model.transition.predict_ms(n))
+
+    def test_continuity_at_boundaries(self, model):
+        n1, n2 = model.transition.n_start, model.transition.n_end
+        assert model.predict_ms(n1 - 1e-9) == pytest.approx(model.predict_ms(n1 + 1e-9), rel=1e-3)
+        assert model.predict_ms(n2 - 1e-9) == pytest.approx(model.predict_ms(n2 + 1e-9), rel=1e-3)
+
+    def test_monotone_over_full_range(self, model):
+        values = [model.predict_ms(float(n)) for n in range(0, 3000, 25)]
+        assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_max_clients_inverse_of_predict(self, model):
+        for goal in (15.0, 100.0, 2000.0):
+            capacity = model.max_clients(goal)
+            assert model.predict_ms(capacity) <= goal * 1.001
+            assert model.predict_ms(capacity + 2) >= goal * 0.98
+
+    def test_max_clients_zero_when_unreachable(self, model):
+        assert model.max_clients(1.0) == 0
+
+    def test_degenerate_transition_falls_back(self):
+        # An upper equation below the lower equation at the anchors would
+        # produce a decreasing transition; assemble() must keep it sane.
+        lower = LowerEquation(c_l=100.0, lambda_l=0.002)
+        upper = UpperEquation(lambda_u=0.001, c_u=0.0)
+        model = PiecewiseResponseModel.assemble("s", lower, upper, n_at_max=1000.0)
+        assert model.transition.predict_ms(800.0) > 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(goal=st.floats(min_value=11.0, max_value=1e4))
+    def test_max_clients_never_violates_goal(self, goal):
+        model = PiecewiseResponseModel.assemble(
+            "s",
+            LowerEquation(c_l=10.0, lambda_l=0.001),
+            UpperEquation(lambda_u=5.0, c_u=-6000.0),
+            n_at_max=1300.0,
+        )
+        capacity = model.max_clients(goal)
+        if capacity > 0:
+            assert model.predict_ms(capacity) <= goal * 1.01

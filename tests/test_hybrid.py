@@ -1,0 +1,132 @@
+"""Tests for the hybrid prediction method."""
+
+import pytest
+
+from repro.hybrid.model import (
+    AdvancedHybridModel,
+    BasicHybridModel,
+    lqn_max_throughput,
+)
+from repro.lqn.builder import RequestTypeParameters, TradeModelParameters, build_trade_model
+from repro.servers.catalogue import APP_SERV_F, APP_SERV_S, APP_SERV_VF
+from repro.util.errors import CalibrationError
+from repro.workload.trade import mixed_workload, typical_workload
+
+PARAMS = TradeModelParameters(
+    request_types={
+        "browse": RequestTypeParameters(
+            name="browse",
+            app_demand_ms=5.376,
+            db_calls=1.14,
+            db_cpu_per_call_ms=0.8294,
+            db_disk_per_call_ms=1.2,
+        ),
+        "buy": RequestTypeParameters(
+            name="buy",
+            app_demand_ms=10.455,
+            db_calls=2.0,
+            db_cpu_per_call_ms=1.613,
+            db_disk_per_call_ms=1.5,
+        ),
+    }
+)
+
+
+class TestLqnMaxThroughput:
+    def test_bottleneck_is_app_cpu(self):
+        model = build_trade_model(APP_SERV_F, typical_workload(100), PARAMS)
+        assert lqn_max_throughput(model) == pytest.approx(1000.0 / 5.376, rel=1e-6)
+
+    def test_scales_with_architecture(self):
+        model = build_trade_model(APP_SERV_S, typical_workload(100), PARAMS)
+        assert lqn_max_throughput(model) == pytest.approx(
+            (86 / 186) * 1000.0 / 5.376, rel=1e-6
+        )
+
+    def test_mix_lowers_max_throughput(self):
+        typical = lqn_max_throughput(
+            build_trade_model(APP_SERV_F, typical_workload(100), PARAMS)
+        )
+        mixed = lqn_max_throughput(
+            build_trade_model(APP_SERV_F, mixed_workload(100, 0.25), PARAMS)
+        )
+        assert mixed < typical
+
+
+@pytest.fixture(scope="module")
+def advanced():
+    return AdvancedHybridModel.build(PARAMS, [APP_SERV_S, APP_SERV_F, APP_SERV_VF])
+
+
+class TestAdvancedHybrid:
+    def test_all_targets_modelled_as_established(self, advanced):
+        # Advanced hybrid: every target has directly calibrated equations —
+        # relationship 2 is not used for them.
+        assert set(advanced.historical.server_calibrations) == {
+            "AppServS",
+            "AppServF",
+            "AppServVF",
+        }
+
+    def test_startup_cost_recorded(self, advanced):
+        assert advanced.report.startup_delay_s > 0.0
+        # 2 points per equation x 2 equations x 3 servers + 2 mix solves.
+        assert advanced.report.lqn_solves == 14
+        assert advanced.report.data_points == 12
+
+    def test_predictions_follow_lqn_shape(self, advanced):
+        from repro.lqn.solver import LqnSolver
+
+        solver = LqnSolver()
+        n = 600
+        lqn = solver.solve(
+            build_trade_model(APP_SERV_F, typical_workload(n), PARAMS)
+        ).mean_response_ms()
+        hybrid = advanced.predict_mrt_ms("AppServF", n)
+        assert hybrid == pytest.approx(lqn, rel=0.4)
+
+    def test_mix_model_calibrated(self, advanced):
+        assert advanced.historical.mix_model is not None
+        mixed = advanced.predict_mrt_ms("AppServS", 300, buy_fraction=0.25)
+        typical = advanced.predict_mrt_ms("AppServS", 300, buy_fraction=0.0)
+        assert mixed > typical
+
+    def test_capacity_closed_form(self, advanced):
+        capacity = advanced.max_clients("AppServS", 500.0)
+        assert 0 < capacity
+        assert advanced.predict_mrt_ms("AppServS", capacity) <= 500.0 * 1.01
+
+    def test_throughput_prediction(self, advanced):
+        assert advanced.predict_throughput("AppServF", 400) == pytest.approx(
+            400 / 7.03, rel=0.05
+        )
+
+    def test_more_points_allowed(self):
+        model = AdvancedHybridModel.build(
+            PARAMS, [APP_SERV_F], points_per_equation=4, calibrate_mix=False
+        )
+        assert model.report.per_server_points["AppServF"] == 8
+
+    def test_needs_targets(self):
+        with pytest.raises(Exception):
+            AdvancedHybridModel.build(PARAMS, [])
+
+
+class TestBasicHybrid:
+    def test_new_server_via_relationship2(self):
+        basic = BasicHybridModel.build(PARAMS, [APP_SERV_F, APP_SERV_VF])
+        assert "AppServS" not in basic.historical.server_models
+        basic.predict_new_server("AppServS", 86.0)
+        assert basic.predict_mrt_ms("AppServS", 200) > 0.0
+
+    def test_single_established_cannot_extrapolate(self):
+        basic = BasicHybridModel.build(PARAMS, [APP_SERV_F])
+        with pytest.raises(CalibrationError):
+            basic.predict_new_server("AppServS", 86.0)
+
+    def test_basic_and_advanced_agree_on_established(self, advanced):
+        basic = BasicHybridModel.build(PARAMS, [APP_SERV_F, APP_SERV_VF])
+        n = 500
+        assert basic.predict_mrt_ms("AppServF", n) == pytest.approx(
+            advanced.predict_mrt_ms("AppServF", n), rel=0.05
+        )

@@ -1,0 +1,67 @@
+"""Tests for the simulator-backed LQN calibration procedure."""
+
+import pytest
+
+from repro.lqn.calibration import LqnCalibration, calibrate_from_simulator
+from repro.servers.catalogue import APP_SERV_F
+from repro.util.errors import CalibrationError
+
+
+class TestCalibration:
+    def test_recovers_design_demands(self, lqn_calibration_fast):
+        """The offline procedure should recover the workload's true demands
+        (browse 5.376ms app, 1.14 db calls at 0.8294ms) within sampling noise."""
+        browse = lqn_calibration_fast.request_types["browse"].parameters
+        assert browse.app_demand_ms == pytest.approx(5.376, rel=0.08)
+        assert browse.db_calls == pytest.approx(1.14, rel=0.05)
+        assert browse.db_cpu_per_call_ms == pytest.approx(0.8294, rel=0.12)
+        assert browse.db_disk_per_call_ms == pytest.approx(1.2, rel=0.12)
+
+    def test_recovers_buy_demands(self, lqn_calibration_fast):
+        buy = lqn_calibration_fast.request_types["buy"].parameters
+        assert buy.app_demand_ms == pytest.approx(10.455, rel=0.12)
+        assert buy.db_calls == pytest.approx(2.0, rel=0.05)
+
+    def test_reference_metadata(self, lqn_calibration_fast):
+        assert lqn_calibration_fast.reference_server == "AppServF"
+        assert lqn_calibration_fast.reference_speed == 1.0
+        assert lqn_calibration_fast.calibration_time_s > 0.0
+
+    def test_parameter_table_layout(self, lqn_calibration_fast):
+        table = lqn_calibration_fast.parameter_table()
+        assert [row[0] for row in table] == ["browse", "buy"]
+        assert all(len(row) == 3 for row in table)
+
+    def test_to_model_parameters(self, lqn_calibration_fast):
+        params = lqn_calibration_fast.to_model_parameters()
+        assert set(params.request_types) == {"browse", "buy"}
+        assert params.reference_speed == 1.0
+
+    def test_saturating_load_is_backed_off(self):
+        """Calibrating with a saturating client count must not produce a
+        saturated measurement (the load is halved until util <= 0.9)."""
+        calibration = calibrate_from_simulator(
+            APP_SERV_F,
+            request_types=("browse",),
+            clients_per_type=4000,  # way past saturation
+            duration_s=25.0,
+            warmup_s=6.0,
+            seed=3,
+        )
+        crt = calibration.request_types["browse"]
+        assert crt.measured_app_utilisation <= 0.9
+        assert crt.clients_used < 4000
+
+    def test_unknown_request_type_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_from_simulator(
+                APP_SERV_F,
+                request_types=("mystery",),
+                clients_per_type=50,
+                duration_s=10.0,
+                warmup_s=2.0,
+            )
+
+    def test_empty_calibration_round_trips(self):
+        calibration = LqnCalibration(reference_server="AppServF", reference_speed=1.0)
+        assert calibration.parameter_table() == []

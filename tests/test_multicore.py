@@ -1,0 +1,109 @@
+"""Tests for multicore (SMP) server support across simulator and LQN."""
+
+import pytest
+
+from repro.lqn.builder import RequestTypeParameters, TradeModelParameters, build_trade_model
+from repro.lqn.solver import LqnSolver
+from repro.servers.architecture import ServerArchitecture
+from repro.simulation.engine import Simulator
+from repro.simulation.resources import ProcessorSharingServer
+from repro.simulation.system import SimulationConfig, simulate_deployment
+from repro.workload.trade import typical_workload
+
+PARAMS = TradeModelParameters(
+    request_types={
+        "browse": RequestTypeParameters(
+            name="browse",
+            app_demand_ms=5.376,
+            db_calls=1.14,
+            db_cpu_per_call_ms=0.8294,
+            db_disk_per_call_ms=1.2,
+        )
+    }
+)
+
+
+class TestMulticoreStation:
+    def test_single_job_uses_one_core(self):
+        """A lone job cannot go faster than one core."""
+        sim = Simulator()
+        ps = ProcessorSharingServer(sim, "cpu", max_concurrency=100, cores=4)
+        done = []
+        ps.submit(10.0, lambda: done.append(sim.now))
+        sim.run_until(100.0)
+        assert done == [10.0]
+
+    def test_two_jobs_two_cores_run_in_parallel(self):
+        sim = Simulator()
+        ps = ProcessorSharingServer(sim, "cpu", max_concurrency=100, cores=2)
+        done = []
+        ps.submit(10.0, lambda: done.append(sim.now))
+        ps.submit(10.0, lambda: done.append(sim.now))
+        sim.run_until(100.0)
+        assert done == [10.0, 10.0]
+
+    def test_overload_shares_all_cores(self):
+        """4 equal jobs on 2 cores: each runs at rate 1/2, all done at 2D."""
+        sim = Simulator()
+        ps = ProcessorSharingServer(sim, "cpu", max_concurrency=100, cores=2)
+        done = []
+        for _ in range(4):
+            ps.submit(10.0, lambda: done.append(sim.now))
+        sim.run_until(100.0)
+        assert done == [20.0] * 4
+
+    def test_utilisation_per_core(self):
+        sim = Simulator()
+        ps = ProcessorSharingServer(sim, "cpu", max_concurrency=100, cores=2)
+        ps.submit(10.0, lambda: None)  # one job: one of two cores busy
+        sim.run_until(20.0)
+        assert ps.stats.utilisation(sim.now) == pytest.approx(0.25)  # 10/20 * 1/2
+
+    def test_work_accounting(self):
+        sim = Simulator()
+        ps = ProcessorSharingServer(sim, "cpu", max_concurrency=100, cores=2)
+        ps.submit(10.0, lambda: None)
+        ps.submit(10.0, lambda: None)
+        sim.run_until(50.0)
+        assert ps.stats.work_done_ms == pytest.approx(20.0)
+
+
+class TestMulticoreSystem:
+    @pytest.mark.slow
+    def test_dual_core_doubles_capacity(self):
+        dual = ServerArchitecture(name="Dual", cpu_speed=1.0, cores=2)
+        config = SimulationConfig(duration_s=35.0, warmup_s=8.0, seed=4)
+        result = simulate_deployment(dual, typical_workload(3200), config)
+        assert result.throughput_req_per_s == pytest.approx(2 * 186.0, rel=0.05)
+
+    @pytest.mark.slow
+    def test_lqn_matches_simulated_dual_core(self):
+        dual = ServerArchitecture(name="Dual", cpu_speed=1.0, cores=2)
+        config = SimulationConfig(duration_s=35.0, warmup_s=8.0, seed=4)
+        sim_result = simulate_deployment(dual, typical_workload(3200), config)
+        solution = LqnSolver().solve(build_trade_model(dual, typical_workload(3200), PARAMS))
+        assert solution.throughput_req_per_s["browse"] == pytest.approx(
+            sim_result.throughput_req_per_s, rel=0.05
+        )
+
+    def test_lqn_maps_cores_to_processor_multiplicity(self):
+        quad = ServerArchitecture(name="Quad", cpu_speed=1.0, cores=4)
+        model = build_trade_model(quad, typical_workload(100), PARAMS)
+        assert model.processors["app_cpu"].multiplicity == 4
+
+    def test_calibration_scales_utilisation_by_cores(self):
+        """On a multicore box the per-core utilisation understates total CPU
+        work by the core count; calibration must compensate."""
+        from repro.lqn.calibration import calibrate_from_simulator
+
+        dual = ServerArchitecture(name="Dual", cpu_speed=1.0, cores=2)
+        calibration = calibrate_from_simulator(
+            dual,
+            request_types=("browse",),
+            clients_per_type=400,
+            duration_s=40.0,
+            warmup_s=10.0,
+            seed=7,
+        )
+        demand = calibration.request_types["browse"].parameters.app_demand_ms
+        assert demand == pytest.approx(5.376, rel=0.12)

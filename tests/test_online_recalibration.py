@@ -1,0 +1,117 @@
+"""Tests for dynamic client transfer and the online recalibration workflow
+(section 4.2's workload-manager procedure)."""
+
+import pytest
+
+from repro.historical.online import OnlineCalibrationSession
+from repro.historical.relationships import LowerEquation
+from repro.servers.catalogue import APP_SERV_F
+from repro.simulation.clients import ClientPopulation
+from repro.simulation.engine import Simulator
+from repro.simulation.metrics import MetricsCollector
+from repro.util.errors import SimulationError
+
+
+class TestDynamicPopulations:
+    def _session(self, n):
+        return OnlineCalibrationSession(APP_SERV_F, n_clients=n, seed=3)
+
+    def test_add_clients_raises_throughput(self):
+        session = self._session(200)
+        session.run_for(20.0)
+        before = session._metrics.for_class("browse").count
+        session.run_for(30.0)
+        rate_small = (session._metrics.for_class("browse").count - before) / 30.0
+        session.transfer_clients(+400)
+        session.run_for(20.0)  # settle
+        before = session._metrics.for_class("browse").count
+        session.run_for(30.0)
+        rate_large = (session._metrics.for_class("browse").count - before) / 30.0
+        # 3x the clients => ~3x the throughput below saturation.
+        assert rate_large == pytest.approx(3 * rate_small, rel=0.2)
+
+    def test_remove_clients_shrinks_population(self):
+        session = self._session(300)
+        session.run_for(10.0)
+        session.transfer_clients(-200)
+        # Departures happen at each client's next send: within ~one think
+        # time the population converges to the target.
+        session.run_for(30.0)
+        assert session.current_clients == 100
+
+    def test_remove_below_zero_clamps(self):
+        session = self._session(10)
+        session.transfer_clients(-50)
+        session.run_for(30.0)
+        assert session.current_clients == 0
+
+    def test_population_counts(self):
+        sim = Simulator()
+        from repro.servers.catalogue import DB_SERVER
+        from repro.simulation.appserver import AppServerSim
+        from repro.simulation.database import DatabaseServerSim
+        from repro.util.rng import RngStreams
+        from repro.workload.trade import browse_class
+
+        streams = RngStreams(1)
+        db = DatabaseServerSim(sim, DB_SERVER)
+        server = AppServerSim(sim, APP_SERV_F, db, streams.get("s"))
+        pop = ClientPopulation(
+            sim, browse_class(), 5, server, MetricsCollector(), streams.get("c")
+        )
+        pop.start()
+        assert pop.current_size == 5
+        pop.add_clients(3)
+        assert pop.target_size == 8
+        assert pop.current_size == 8
+
+
+class TestOnlineRecalibration:
+    def test_recording_cost_explodes_past_saturation(self):
+        """The paper's 4.5 s -> 2.2 min recording-time asymmetry: with a
+        think-less benchmarking client, 50 samples cost 50 response times,
+        which balloon once the server saturates."""
+        below = OnlineCalibrationSession(APP_SERV_F, n_clients=600, seed=5)
+        below.run_for(15.0)
+        fast = below.record_point(50)
+
+        above = OnlineCalibrationSession(APP_SERV_F, n_clients=1700, seed=5)
+        above.run_for(40.0)
+        slow = above.record_point(50)
+
+        # Below saturation: ~50 x ~30ms = a couple of seconds of model time.
+        assert fast.recording_time_ms < 10_000.0
+        # Above: each response takes seconds; 50 samples take minutes.
+        assert slow.recording_time_ms > 60_000.0
+        assert slow.point.mean_response_ms > 20 * fast.point.mean_response_ms
+
+    def test_two_point_lower_calibration_workflow(self):
+        """Record, transfer clients, settle, record again, fit — the whole
+        section-4.2 loop — and check the fitted equation is sane."""
+        session = OnlineCalibrationSession(APP_SERV_F, n_clients=450, seed=8)
+        session.run_for(15.0)
+        first = session.record_point(50)
+        session.transfer_clients(+420)  # toward the 66% anchor
+        session.run_for(20.0)  # settle at the new load
+        second = session.record_point(50)
+
+        assert second.point.n_clients > first.point.n_clients
+        lower = LowerEquation.fit([first.point, second.point])
+        assert lower.c_l > 0
+        # The fitted curve passes through both recorded points.
+        assert lower.predict_ms(first.point.n_clients) == pytest.approx(
+            first.point.mean_response_ms, rel=1e-9
+        )
+
+    def test_recording_deadline_enforced(self):
+        session = OnlineCalibrationSession(APP_SERV_F, n_clients=10, seed=2)
+        with pytest.raises(SimulationError, match="did not finish"):
+            session.record_point(10_000, max_model_seconds=5.0)
+
+    def test_benchmark_client_isolated_from_workload_metrics(self):
+        session = OnlineCalibrationSession(APP_SERV_F, n_clients=100, seed=2)
+        session.run_for(20.0)
+        recorded = session.record_point(20)
+        assert recorded.point.n_clients == 100  # workload size, not 101
+        assert session._metrics.for_class("browse").count > 0
+        assert session._metrics.for_class("benchmark").count >= 20

@@ -1,0 +1,219 @@
+"""Tests for open (constant-rate) workload support — section 8.1's
+"some or all clients sending requests at a constant rate" variation —
+across the MVA core, the LQN solver/builder, and the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.lqn.builder import RequestTypeParameters, TradeModelParameters, build_trade_model
+from repro.lqn.model import Entry, LqnModel, Processor, Scheduling, Task
+from repro.lqn.mva import MvaInput, Station, StationKind, solve_bard_schweitzer
+from repro.lqn.solver import LqnSolver
+from repro.servers.catalogue import APP_SERV_F
+from repro.simulation.system import SimulatedDeployment, SimulationConfig
+from repro.util.errors import ValidationError
+from repro.workload.trade import browse_class, typical_workload
+
+PARAMS = TradeModelParameters(
+    request_types={
+        "browse": RequestTypeParameters(
+            name="browse",
+            app_demand_ms=5.376,
+            db_calls=1.14,
+            db_cpu_per_call_ms=0.8294,
+            db_disk_per_call_ms=1.2,
+        )
+    }
+)
+
+
+def pure_open_input(rate_per_ms: float, demand_ms: float) -> MvaInput:
+    return MvaInput(
+        stations=[Station("cpu")],
+        class_names=[],
+        populations=[],
+        think_times_ms=[],
+        demands=np.zeros((0, 1)),
+        open_class_names=["o"],
+        open_rates_per_ms=[rate_per_ms],
+        open_demands=np.array([[demand_ms]]),
+    )
+
+
+class TestMixedMva:
+    def test_pure_open_matches_mm1(self):
+        # rho = 0.5 -> R = D / (1 - rho) = 2D.
+        solution = solve_bard_schweitzer(pure_open_input(0.05, 10.0))
+        assert solution.open_response_ms["o"] == pytest.approx(20.0)
+        assert solution.utilisation[0] == pytest.approx(0.5)
+
+    def test_open_delay_station_is_pure_latency(self):
+        inp = MvaInput(
+            stations=[Station("net", kind=StationKind.DELAY)],
+            class_names=[],
+            populations=[],
+            think_times_ms=[],
+            demands=np.zeros((0, 1)),
+            open_class_names=["o"],
+            open_rates_per_ms=[0.5],
+            open_demands=np.array([[10.0]]),
+        )
+        assert solve_bard_schweitzer(inp).open_response_ms["o"] == pytest.approx(10.0)
+
+    def test_unstable_open_load_rejected(self):
+        with pytest.raises(ValidationError, match="unstable"):
+            solve_bard_schweitzer(pure_open_input(0.2, 10.0))
+
+    def test_open_load_slows_closed_class(self):
+        def closed_with_open(rate: float) -> float:
+            inp = MvaInput(
+                stations=[Station("cpu")],
+                class_names=["c"],
+                populations=[20],
+                think_times_ms=[500.0],
+                demands=np.array([[5.0]]),
+                open_class_names=["o"],
+                open_rates_per_ms=[rate],
+                open_demands=np.array([[10.0]]),
+            )
+            return float(solve_bard_schweitzer(inp).cycle_response_ms[0])
+
+        assert closed_with_open(0.05) > closed_with_open(0.001)
+
+    def test_closed_load_slows_open_class(self):
+        def open_with_closed(population: int) -> float:
+            inp = MvaInput(
+                stations=[Station("cpu")],
+                class_names=["c"],
+                populations=[population],
+                think_times_ms=[500.0],
+                demands=np.array([[5.0]]),
+                open_class_names=["o"],
+                open_rates_per_ms=[0.02],
+                open_demands=np.array([[10.0]]),
+            )
+            return solve_bard_schweitzer(inp).open_response_ms["o"]
+
+        assert open_with_closed(50) > open_with_closed(1)
+
+    def test_utilisation_sums_open_and_closed(self):
+        inp = MvaInput(
+            stations=[Station("cpu")],
+            class_names=["c"],
+            populations=[10],
+            think_times_ms=[1000.0],
+            demands=np.array([[5.0]]),
+            open_class_names=["o"],
+            open_rates_per_ms=[0.04],
+            open_demands=np.array([[10.0]]),
+        )
+        solution = solve_bard_schweitzer(inp)
+        closed_util = float(solution.throughput_per_ms[0] * 5.0)
+        assert solution.utilisation[0] == pytest.approx(closed_util + 0.4, rel=0.02)
+
+
+class TestLqnOpenClasses:
+    def test_task_validation(self):
+        with pytest.raises(ValidationError):
+            Task(
+                name="t",
+                processor="p",
+                entries=(Entry("e", 1.0),),
+                open_arrival_rate_per_s=5.0,  # non-reference cannot be open
+            )
+
+    def test_is_open_reference(self):
+        task = Task(
+            name="t",
+            processor="p",
+            entries=(Entry("e", 1.0),),
+            is_reference=True,
+            open_arrival_rate_per_s=5.0,
+        )
+        assert task.is_open_reference
+
+    def test_builder_adds_open_source(self):
+        sc = browse_class()
+        model = build_trade_model(
+            APP_SERV_F, typical_workload(100), PARAMS, open_workload={sc: 50.0}
+        )
+        assert "open_browse" in model.tasks
+        assert model.tasks["open_browse"].is_open_reference
+
+    def test_solver_reports_open_class(self):
+        sc = browse_class()
+        model = build_trade_model(
+            APP_SERV_F, typical_workload(100), PARAMS, open_workload={sc: 50.0}
+        )
+        solution = LqnSolver().solve(model)
+        assert solution.throughput_req_per_s["open_browse"] == pytest.approx(50.0)
+        assert solution.response_ms["open_browse"] > 0.0
+
+    def test_pure_open_model_solves(self):
+        sc = browse_class()
+        model = build_trade_model(
+            APP_SERV_F, {}, PARAMS, open_workload={sc: 100.0}
+        )
+        solution = LqnSolver().solve(model)
+        # rho_app = 100 * 5.376ms = 0.54; R exceeds the raw demand.
+        assert solution.response_ms["open_browse"] > 5.376
+        assert solution.processor_utilisation["app_cpu"] == pytest.approx(0.538, abs=0.01)
+
+    def test_open_and_closed_utilisations_combine(self):
+        sc = browse_class()
+        closed_only = LqnSolver().solve(
+            build_trade_model(APP_SERV_F, typical_workload(300), PARAMS)
+        )
+        mixed = LqnSolver().solve(
+            build_trade_model(
+                APP_SERV_F, typical_workload(300), PARAMS, open_workload={sc: 80.0}
+            )
+        )
+        assert mixed.processor_utilisation["app_cpu"] > (
+            closed_only.processor_utilisation["app_cpu"] + 0.3
+        )
+
+
+class TestSimulatedOpenArrivals:
+    @pytest.fixture(scope="class")
+    def mixed_run(self):
+        sc = browse_class()
+        deployment = SimulatedDeployment(
+            placements={"AppServF": (APP_SERV_F, {sc: 300})},
+            config=SimulationConfig(duration_s=40.0, warmup_s=10.0, seed=6),
+            open_arrivals={"AppServF": {sc: 100.0}},
+        )
+        return deployment.run()
+
+    def test_open_throughput_matches_arrival_rate(self, mixed_run):
+        assert mixed_run.per_class_throughput["open_browse"] == pytest.approx(
+            100.0, rel=0.06
+        )
+
+    def test_open_class_reported_separately(self, mixed_run):
+        assert set(mixed_run.per_class_mean_ms) == {"browse", "open_browse"}
+
+    def test_open_load_raises_utilisation(self, mixed_run):
+        # 300 closed clients alone would be ~43 req/s (util ~0.23); the open
+        # 100 req/s roughly triples the utilisation.
+        assert mixed_run.app_cpu_utilisation["AppServF"] > 0.6
+
+    def test_lqn_matches_simulated_utilisation(self, mixed_run):
+        sc = browse_class()
+        model = build_trade_model(
+            APP_SERV_F, typical_workload(300), PARAMS, open_workload={sc: 100.0}
+        )
+        solution = LqnSolver().solve(model)
+        assert solution.processor_utilisation["app_cpu"] == pytest.approx(
+            mixed_run.app_cpu_utilisation["AppServF"], abs=0.05
+        )
+
+    def test_open_arrivals_need_placed_server(self):
+        sc = browse_class()
+        deployment = SimulatedDeployment(
+            placements={"AppServF": (APP_SERV_F, {sc: 10})},
+            config=SimulationConfig(duration_s=5.0, warmup_s=1.0, seed=6),
+            open_arrivals={"ghost": {sc: 10.0}},
+        )
+        with pytest.raises(ValidationError):
+            deployment.run()

@@ -1,0 +1,86 @@
+"""End-to-end validation of the resource manager against the simulator.
+
+The paper evaluates Algorithm 1 analytically (the historical model stands in
+for the real system).  This test goes one step further: it takes an actual
+allocation, *simulates* the resulting multi-server deployment (all app
+servers sharing the one database), and checks that the SLA promises made by
+the allocator hold in the simulated system.
+"""
+
+import pytest
+
+from repro.experiments.rm_common import build_rm_setup
+from repro.experiments.scenario import rm_workload_for
+from repro.resource_manager.allocation import allocate
+from repro.servers.catalogue import architecture
+from repro.simulation.system import SimulatedDeployment, SimulationConfig
+from repro.workload.trade import browse_class, buy_class
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def simulated_outcome():
+    setup = build_rm_setup(fast=True)
+    total = 4000
+    classes = rm_workload_for(total)
+    allocation = allocate(classes, setup.servers, setup.predictor, slack=1.1)
+
+    # Materialise the allocation as a simulated deployment.  Service classes
+    # are rebuilt with their SLA goals and priorities (tightest goal = most
+    # urgent, matching the allocator's ordering).
+    class_objects = {
+        "buy": buy_class(name="buy", rt_goal_ms=150.0, priority=0),
+        "browse_hi": browse_class(name="browse_hi", rt_goal_ms=300.0, priority=1),
+        "browse_lo": browse_class(name="browse_lo", rt_goal_ms=600.0, priority=2),
+    }
+    server_by_name = {s.name: s for s in setup.servers}
+    placements = {}
+    for server_name, alloc in allocation.per_server.items():
+        arch = architecture(server_by_name[server_name].architecture)
+        workload = {
+            class_objects[class_name]: int(round(count / 1.1))  # real clients
+            for class_name, count in alloc.items()
+            if count > 0
+        }
+        if workload:
+            placements[server_name] = (arch, workload)
+
+    deployment = SimulatedDeployment(
+        placements=placements,
+        config=SimulationConfig(duration_s=40.0, warmup_s=10.0, seed=31),
+    )
+    return allocation, class_objects, deployment.run()
+
+
+class TestAllocationHoldsInSimulation:
+    def test_no_clients_rejected_by_allocator(self, simulated_outcome):
+        allocation, _, _ = simulated_outcome
+        assert allocation.total_unallocated() == 0
+
+    def test_all_classes_served(self, simulated_outcome):
+        _, class_objects, result = simulated_outcome
+        assert set(result.per_class_mean_ms) == set(class_objects)
+
+    def test_sla_goals_hold_in_simulation(self, simulated_outcome):
+        """The allocator promised every class its goal; the simulated system
+        should deliver (with slack 1.1 absorbing model error)."""
+        _, class_objects, result = simulated_outcome
+        for name, service_class in class_objects.items():
+            measured = result.per_class_mean_ms[name]
+            assert measured <= service_class.rt_goal_ms, (
+                f"{name}: simulated {measured:.1f}ms exceeds the "
+                f"{service_class.rt_goal_ms:.0f}ms goal"
+            )
+
+    def test_throughput_consistent_with_population(self, simulated_outcome):
+        allocation, _, result = simulated_outcome
+        real_clients = round(allocation.total_allocated() / 1.1)
+        # Closed-workload law at low response times: X ~ N / think.
+        expected = real_clients / 7.03
+        assert result.throughput_req_per_s == pytest.approx(expected, rel=0.1)
+
+    def test_shared_database_not_saturated(self, simulated_outcome):
+        _, _, result = simulated_outcome
+        assert result.db_cpu_utilisation < 0.9
+        assert result.db_disk_utilisation < 0.9

@@ -1,0 +1,134 @@
+"""Unit tests for the LRU session cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.cache import LruSessionCache
+from repro.util.errors import ValidationError
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_and_inserts(self):
+        cache = LruSessionCache(1000)
+        assert cache.access("c1", 100) is False
+        assert "c1" in cache
+        assert cache.used_bytes == 100
+
+    def test_second_access_hits(self):
+        cache = LruSessionCache(1000)
+        cache.access("c1", 100)
+        assert cache.access("c1", 100) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self):
+        cache = LruSessionCache(300)
+        cache.access("a", 100)
+        cache.access("b", 100)
+        cache.access("c", 100)
+        cache.access("a", 100)  # refresh a: b is now LRU
+        cache.access("d", 100)  # evicts b
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache and "d" in cache
+        assert cache.evictions == 1
+
+    def test_eviction_frees_enough_space(self):
+        cache = LruSessionCache(250)
+        cache.access("a", 100)
+        cache.access("b", 100)
+        cache.access("big", 200)  # must evict both a and b
+        assert "a" not in cache and "b" not in cache and "big" in cache
+        assert cache.used_bytes == 200
+
+    def test_oversized_session_never_cached(self):
+        cache = LruSessionCache(100)
+        assert cache.access("huge", 200) is False
+        assert "huge" not in cache
+        assert cache.used_bytes == 0
+
+    def test_session_resize_on_reaccess(self):
+        cache = LruSessionCache(1000)
+        cache.access("a", 100)
+        cache.access("a", 300)
+        assert cache.used_bytes == 300
+
+    def test_invalidate(self):
+        cache = LruSessionCache(1000)
+        cache.access("a", 100)
+        assert cache.invalidate("a") is True
+        assert "a" not in cache
+        assert cache.used_bytes == 0
+        assert cache.invalidate("a") is False
+
+    def test_miss_rate(self):
+        cache = LruSessionCache(1000)
+        cache.access("a", 10)
+        cache.access("a", 10)
+        cache.access("b", 10)
+        assert cache.miss_rate() == pytest.approx(2 / 3)
+
+    def test_miss_rate_nan_when_untouched(self):
+        import math
+
+        assert math.isnan(LruSessionCache(10).miss_rate())
+
+    def test_reset_stats_keeps_contents(self):
+        cache = LruSessionCache(1000)
+        cache.access("a", 10)
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+        assert "a" in cache
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValidationError):
+            LruSessionCache(0)
+
+    def test_rejects_bad_session_size(self):
+        with pytest.raises(ValidationError):
+            LruSessionCache(100).access("a", 0)
+
+
+class TestInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=20), st.integers(min_value=1, max_value=64)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_used_bytes_never_exceeds_capacity(self, accesses):
+        cache = LruSessionCache(256)
+        for client, size in accesses:
+            cache.access(client, size)
+            assert 0 <= cache.used_bytes <= 256
+            assert cache.entry_count <= 256
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=100)
+    )
+    def test_hits_plus_misses_equals_accesses(self, clients):
+        cache = LruSessionCache(10_000)
+        for client in clients:
+            cache.access(client, 8)
+        assert cache.hits + cache.misses == len(clients)
+
+    def test_full_working_set_fits_no_misses_after_warmup(self):
+        cache = LruSessionCache(100 * 10)
+        for client in range(100):
+            cache.access(client, 10)
+        cache.reset_stats()
+        for _round in range(3):
+            for client in range(100):
+                assert cache.access(client, 10) is True
+        assert cache.miss_rate() == 0.0
+
+    def test_cyclic_scan_thrashes_when_too_small(self):
+        """Sequential cyclic access over a working set larger than the cache
+        is LRU's pathological case: everything misses."""
+        cache = LruSessionCache(50 * 10)
+        for _round in range(3):
+            for client in range(100):
+                cache.access(client, 10)
+        cache.reset_stats()
+        for client in range(100):
+            assert cache.access(client, 10) is False

@@ -1,0 +1,95 @@
+"""Unit tests for the random-variate samplers."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.distributions import (
+    Deterministic,
+    Erlang,
+    Exponential,
+    HyperExponential,
+)
+from repro.util.errors import ValidationError
+from repro.util.rng import spawn_rng
+
+
+@pytest.fixture
+def rng():
+    return spawn_rng(123, "dist-tests")
+
+
+class TestDeterministic:
+    def test_always_same_value(self):
+        d = Deterministic(5.0)
+        assert [d.sample() for _ in range(3)] == [5.0, 5.0, 5.0]
+
+    def test_mean(self):
+        assert Deterministic(5.0).mean == 5.0
+
+    def test_zero_allowed(self):
+        assert Deterministic(0.0).sample() == 0.0
+
+    def test_sample_many(self):
+        assert np.all(Deterministic(2.0).sample_many(4) == 2.0)
+
+
+class TestExponential:
+    def test_mean_property(self, rng):
+        assert Exponential(7000.0, rng).mean == 7000.0
+
+    def test_empirical_mean_converges(self, rng):
+        samples = Exponential(10.0, rng).sample_many(200_000)
+        assert np.mean(samples) == pytest.approx(10.0, rel=0.02)
+
+    def test_empirical_cv_is_one(self, rng):
+        samples = Exponential(10.0, rng).sample_many(200_000)
+        assert np.std(samples) / np.mean(samples) == pytest.approx(1.0, rel=0.02)
+
+    def test_samples_positive(self, rng):
+        assert np.all(Exponential(3.0, rng).sample_many(1000) >= 0.0)
+
+    def test_rejects_non_positive_mean(self, rng):
+        with pytest.raises(ValidationError):
+            Exponential(0.0, rng)
+
+
+class TestErlang:
+    def test_mean_preserved(self, rng):
+        samples = Erlang(10.0, 4, rng).sample_many(200_000)
+        assert np.mean(samples) == pytest.approx(10.0, rel=0.02)
+
+    def test_variance_reduced_vs_exponential(self, rng):
+        # Erlang-k has CV^2 = 1/k.
+        samples = Erlang(10.0, 4, rng).sample_many(200_000)
+        cv2 = (np.std(samples) / np.mean(samples)) ** 2
+        assert cv2 == pytest.approx(0.25, rel=0.05)
+
+    def test_k_one_is_exponential(self, rng):
+        samples = Erlang(10.0, 1, rng).sample_many(100_000)
+        cv2 = (np.std(samples) / np.mean(samples)) ** 2
+        assert cv2 == pytest.approx(1.0, rel=0.05)
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ValidationError):
+            Erlang(10.0, 0, rng)
+
+
+class TestHyperExponential:
+    def test_mean_formula(self, rng):
+        h = HyperExponential(0.3, 2.0, 20.0, rng)
+        assert h.mean == pytest.approx(0.3 * 2.0 + 0.7 * 20.0)
+
+    def test_empirical_mean(self, rng):
+        h = HyperExponential(0.5, 2.0, 20.0, rng)
+        samples = np.array([h.sample() for _ in range(100_000)])
+        assert np.mean(samples) == pytest.approx(h.mean, rel=0.03)
+
+    def test_variance_exceeds_exponential(self, rng):
+        h = HyperExponential(0.5, 1.0, 50.0, rng)
+        samples = np.array([h.sample() for _ in range(100_000)])
+        cv2 = (np.std(samples) / np.mean(samples)) ** 2
+        assert cv2 > 1.1
+
+    def test_rejects_bad_probability(self, rng):
+        with pytest.raises(ValidationError):
+            HyperExponential(1.5, 1.0, 2.0, rng)

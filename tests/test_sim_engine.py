@@ -1,0 +1,131 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.simulation.events import EventPriority
+from repro.util.errors import SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run_until(10.0)
+        assert order == ["early", "late"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.5, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [3.5]
+
+    def test_clock_lands_exactly_on_end_time(self):
+        sim = Simulator()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_events_beyond_end_time_not_fired(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100.0, lambda: fired.append(1))
+        sim.run_until(50.0)
+        assert fired == []
+        sim.run_until(150.0)
+        assert fired == [1]
+
+    def test_simultaneous_events_fire_in_priority_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("arrival"), priority=EventPriority.ARRIVAL)
+        sim.schedule(1.0, lambda: order.append("departure"), priority=EventPriority.DEPARTURE)
+        sim.run_until(2.0)
+        assert order == ["departure", "arrival"]
+
+    def test_simultaneous_same_priority_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("first"))
+        sim.schedule(1.0, lambda: order.append("second"))
+        sim.run_until(2.0)
+        assert order == ["first", "second"]
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("chained"))
+
+        sim.schedule(1.0, first)
+        sim.run_until(10.0)
+        assert order == ["first", "chained"]
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run_until(2.0)
+        assert sim.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending_events() == 1
+
+
+class TestErrors:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(Exception):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_run_until_past_rejected(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_max_events_guard(self):
+        sim = Simulator()
+
+        def loop():
+            sim.schedule(0.0, loop)
+
+        sim.schedule(0.0, loop)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_until(1.0, max_events=100)
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+
+        def nested():
+            sim.run_until(5.0)
+
+        sim.schedule(1.0, nested)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            sim.run_until(2.0)

@@ -1,0 +1,121 @@
+"""Unit tests for the measurement collectors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simulation.metrics import MetricsCollector, ResponseTimeStats
+from repro.util.errors import ValidationError
+
+
+class TestResponseTimeStats:
+    def test_empty_stats_are_nan(self):
+        stats = ResponseTimeStats()
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.std)
+        assert math.isnan(stats.percentile(0.9))
+        assert math.isnan(stats.fraction_below(100.0))
+
+    def test_mean_and_count(self):
+        stats = ResponseTimeStats()
+        for v in (1.0, 2.0, 3.0):
+            stats.record(v)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_std_is_sample_std(self):
+        stats = ResponseTimeStats()
+        for v in (1.0, 3.0):
+            stats.record(v)
+        assert stats.std == pytest.approx(np.std([1.0, 3.0], ddof=1))
+
+    def test_percentile(self):
+        stats = ResponseTimeStats()
+        for v in range(1, 101):
+            stats.record(float(v))
+        assert stats.percentile(0.5) == pytest.approx(50.5)
+
+    def test_fraction_below(self):
+        stats = ResponseTimeStats()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            stats.record(v)
+        assert stats.fraction_below(2.0) == pytest.approx(0.5)
+
+    def test_rejects_negative_sample(self):
+        with pytest.raises(ValidationError):
+            ResponseTimeStats().record(-1.0)
+
+    def test_confidence_halfwidth_shrinks_with_n(self):
+        small = ResponseTimeStats(samples=[1.0, 2.0, 3.0, 4.0])
+        big = ResponseTimeStats(samples=[1.0, 2.0, 3.0, 4.0] * 100)
+        assert big.confidence_halfwidth() < small.confidence_halfwidth()
+
+    def test_as_array_is_copy(self):
+        stats = ResponseTimeStats(samples=[1.0])
+        arr = stats.as_array()
+        arr[0] = 99.0
+        assert stats.samples[0] == 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    def test_percentile_bounded_by_extremes(self, values):
+        stats = ResponseTimeStats()
+        for v in values:
+            stats.record(v)
+        assert min(values) <= stats.percentile(0.5) <= max(values)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=50))
+    def test_cdf_monotone(self, values):
+        stats = ResponseTimeStats(samples=list(values))
+        lo, hi = min(values), max(values)
+        assert stats.fraction_below(lo) <= stats.fraction_below(hi)
+
+
+class TestMetricsCollector:
+    def test_warmup_completions_not_recorded(self):
+        collector = MetricsCollector()
+        collector.record("browse", 10.0)
+        assert collector.overall.count == 0
+        assert collector.warmup_completions == 1
+
+    def test_measuring_window(self):
+        collector = MetricsCollector()
+        collector.start_measuring(1000.0)
+        collector.record("browse", 10.0)
+        collector.record("buy", 20.0)
+        collector.stop_measuring(3000.0)
+        assert collector.window_ms == 2000.0
+        assert collector.overall.count == 2
+        assert collector.class_names() == ["browse", "buy"]
+
+    def test_per_class_separation(self):
+        collector = MetricsCollector()
+        collector.start_measuring(0.0)
+        collector.record("a", 10.0)
+        collector.record("b", 30.0)
+        collector.stop_measuring(1000.0)
+        assert collector.for_class("a").mean == pytest.approx(10.0)
+        assert collector.for_class("b").mean == pytest.approx(30.0)
+        assert collector.overall.mean == pytest.approx(20.0)
+
+    def test_unknown_class_returns_empty_stats(self):
+        collector = MetricsCollector()
+        assert collector.for_class("nope").count == 0
+
+    def test_throughput(self):
+        collector = MetricsCollector()
+        collector.start_measuring(0.0)
+        for _ in range(100):
+            collector.record("a", 1.0)
+        collector.stop_measuring(2000.0)
+        assert collector.throughput_req_per_s() == pytest.approx(50.0)
+        assert collector.throughput_req_per_s("a") == pytest.approx(50.0)
+
+    def test_recording_stops_after_window(self):
+        collector = MetricsCollector()
+        collector.start_measuring(0.0)
+        collector.stop_measuring(10.0)
+        collector.record("a", 5.0)
+        assert collector.overall.count == 0

@@ -1,0 +1,251 @@
+"""Unit tests for the queueing stations (PS, FCFS, thread pool).
+
+Deterministic scenarios are checked against hand-computed schedules; the
+stochastic cases are checked against M/M/1 closed-form results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.simulation.resources import FifoServer, ProcessorSharingServer, ThreadPool
+from repro.util.errors import SimulationError
+from repro.util.rng import spawn_rng
+
+
+def make_ps(speed=1.0, limit=100):
+    sim = Simulator()
+    return sim, ProcessorSharingServer(sim, "cpu", speed=speed, max_concurrency=limit)
+
+
+class TestProcessorSharingDeterministic:
+    def test_single_job_runs_at_full_speed(self):
+        sim, ps = make_ps()
+        done = []
+        ps.submit(10.0, lambda: done.append(sim.now))
+        sim.run_until(100.0)
+        assert done == [10.0]
+
+    def test_speed_scales_service(self):
+        sim, ps = make_ps(speed=2.0)
+        done = []
+        ps.submit(10.0, lambda: done.append(sim.now))
+        sim.run_until(100.0)
+        assert done == [5.0]
+
+    def test_two_equal_jobs_share_equally(self):
+        sim, ps = make_ps()
+        done = []
+        ps.submit(10.0, lambda: done.append(("a", sim.now)))
+        ps.submit(10.0, lambda: done.append(("b", sim.now)))
+        sim.run_until(100.0)
+        # Each gets half the CPU: both finish at t=20.
+        assert done == [("a", 20.0), ("b", 20.0)]
+
+    def test_unequal_jobs_processor_sharing_schedule(self):
+        sim, ps = make_ps()
+        done = {}
+        ps.submit(5.0, lambda: done.setdefault("short", sim.now))
+        ps.submit(10.0, lambda: done.setdefault("long", sim.now))
+        sim.run_until(100.0)
+        # Shared until short departs at t=10 (5 work at rate 1/2); the long
+        # job then has 5 remaining alone: finishes at t=15.
+        assert done["short"] == pytest.approx(10.0)
+        assert done["long"] == pytest.approx(15.0)
+
+    def test_late_arrival_shares_remaining_work(self):
+        sim, ps = make_ps()
+        done = {}
+        ps.submit(10.0, lambda: done.setdefault("first", sim.now))
+        sim.schedule(5.0, lambda: ps.submit(10.0, lambda: done.setdefault("second", sim.now)))
+        sim.run_until(100.0)
+        # First runs alone 5ms (5 left), then shares: first finishes at
+        # 5 + 2*5 = 15; second has 10-5=5 left at t=15, alone: t=20.
+        assert done["first"] == pytest.approx(15.0)
+        assert done["second"] == pytest.approx(20.0)
+
+    def test_admission_limit_queues_fifo(self):
+        sim, ps = make_ps(limit=1)
+        done = []
+        ps.submit(10.0, lambda: done.append(("a", sim.now)))
+        ps.submit(10.0, lambda: done.append(("b", sim.now)))
+        ps.submit(10.0, lambda: done.append(("c", sim.now)))
+        assert ps.in_service == 1 and ps.queued == 2
+        sim.run_until(100.0)
+        # With limit 1 the station degenerates to FCFS.
+        assert done == [("a", 10.0), ("b", 20.0), ("c", 30.0)]
+
+    def test_zero_work_completes_immediately(self):
+        sim, ps = make_ps()
+        done = []
+        ps.submit(0.0, lambda: done.append(sim.now))
+        assert done == [0.0]
+        assert ps.stats.completions == 1
+
+    def test_busy_time_accounting(self):
+        sim, ps = make_ps()
+        ps.submit(10.0, lambda: None)
+        sim.run_until(40.0)
+        assert ps.stats.busy_time_ms == pytest.approx(10.0)
+        assert ps.stats.utilisation(sim.now) == pytest.approx(0.25)
+
+    def test_work_conservation_two_jobs(self):
+        sim, ps = make_ps()
+        ps.submit(10.0, lambda: None)
+        ps.submit(10.0, lambda: None)
+        sim.run_until(40.0)
+        # CPU busy exactly 20ms processing 20ms of work.
+        assert ps.stats.busy_time_ms == pytest.approx(20.0)
+        assert ps.stats.work_done_ms == pytest.approx(20.0)
+
+    def test_reset_stats_clears_window(self):
+        sim, ps = make_ps()
+        ps.submit(10.0, lambda: None)
+        sim.run_until(20.0)
+        ps.reset_stats()
+        assert ps.stats.completions == 0
+        assert ps.stats.busy_time_ms == 0.0
+        sim.run_until(40.0)
+        assert ps.stats.utilisation(sim.now) == 0.0
+
+    def test_peak_tracking(self):
+        sim, ps = make_ps(limit=2)
+        for _ in range(5):
+            ps.submit(10.0, lambda: None)
+        assert ps.stats.peak_in_system == 5
+
+
+class TestProcessorSharingStochastic:
+    def test_mm1_ps_mean_number_in_system(self):
+        """M/M/1-PS has the same mean queue length as M/M/1-FCFS:
+        N = rho / (1 - rho)."""
+        rng = spawn_rng(7, "mm1ps")
+        sim = Simulator()
+        ps = ProcessorSharingServer(sim, "cpu", speed=1.0, max_concurrency=10**6)
+        lam = 0.07  # per ms
+        mean_service = 10.0  # rho = 0.7
+        n = 60_000
+        arrivals = np.cumsum(rng.exponential(1 / lam, n))
+        demands = rng.exponential(mean_service, n)
+        for at, d in zip(arrivals, demands):
+            sim.schedule_at(float(at), lambda dd=float(d): ps.submit(dd, lambda: None))
+        sim.run_until(float(arrivals[-1]))
+        rho = lam * mean_service
+        expected = rho / (1 - rho)
+        measured = ps.stats.mean_in_system(sim.now)
+        assert measured == pytest.approx(expected, rel=0.12)
+
+    def test_utilisation_equals_offered_load(self):
+        rng = spawn_rng(8, "util")
+        sim = Simulator()
+        ps = ProcessorSharingServer(sim, "cpu", speed=1.0, max_concurrency=10**6)
+        lam, mean_service = 0.05, 8.0
+        n = 50_000
+        arrivals = np.cumsum(rng.exponential(1 / lam, n))
+        for at, d in zip(arrivals, rng.exponential(mean_service, n)):
+            sim.schedule_at(float(at), lambda dd=float(d): ps.submit(dd, lambda: None))
+        sim.run_until(float(arrivals[-1]))
+        assert ps.stats.utilisation(sim.now) == pytest.approx(lam * mean_service, rel=0.05)
+
+
+class TestFifoServer:
+    def test_single_server_sequential(self):
+        sim = Simulator()
+        fifo = FifoServer(sim, "disk")
+        done = []
+        fifo.submit(5.0, lambda: done.append(("a", sim.now)))
+        fifo.submit(5.0, lambda: done.append(("b", sim.now)))
+        sim.run_until(100.0)
+        assert done == [("a", 5.0), ("b", 10.0)]
+
+    def test_multi_server_parallelism(self):
+        sim = Simulator()
+        fifo = FifoServer(sim, "disk", servers=2)
+        done = []
+        fifo.submit(5.0, lambda: done.append(sim.now))
+        fifo.submit(5.0, lambda: done.append(sim.now))
+        sim.run_until(100.0)
+        assert done == [5.0, 5.0]
+
+    def test_speed_scaling(self):
+        sim = Simulator()
+        fifo = FifoServer(sim, "disk", speed=2.0)
+        done = []
+        fifo.submit(10.0, lambda: done.append(sim.now))
+        sim.run_until(100.0)
+        assert done == [5.0]
+
+    def test_queue_counters(self):
+        sim = Simulator()
+        fifo = FifoServer(sim, "disk")
+        fifo.submit(5.0, lambda: None)
+        fifo.submit(5.0, lambda: None)
+        assert fifo.in_service == 1
+        assert fifo.queued == 1
+        assert fifo.total_in_system == 2
+
+    def test_mm1_mean_in_system(self):
+        rng = spawn_rng(9, "mm1")
+        sim = Simulator()
+        fifo = FifoServer(sim, "disk")
+        lam, mean_service = 0.06, 10.0  # rho = 0.6
+        n = 60_000
+        arrivals = np.cumsum(rng.exponential(1 / lam, n))
+        for at, d in zip(arrivals, rng.exponential(mean_service, n)):
+            sim.schedule_at(float(at), lambda dd=float(d): fifo.submit(dd, lambda: None))
+        sim.run_until(float(arrivals[-1]))
+        rho = lam * mean_service
+        assert fifo.stats.mean_in_system(sim.now) == pytest.approx(rho / (1 - rho), rel=0.12)
+
+    def test_utilisation_multi_server(self):
+        sim = Simulator()
+        fifo = FifoServer(sim, "disk", servers=2)
+        fifo.submit(10.0, lambda: None)
+        sim.run_until(20.0)
+        # One of two servers busy for 10 of 20 ms => 25% per-server util.
+        assert fifo.stats.utilisation(sim.now) == pytest.approx(0.25)
+
+
+class TestThreadPool:
+    def test_grants_up_to_capacity_synchronously(self):
+        sim = Simulator()
+        pool = ThreadPool(sim, "threads", capacity=2)
+        granted = []
+        pool.acquire(lambda: granted.append(1))
+        pool.acquire(lambda: granted.append(2))
+        pool.acquire(lambda: granted.append(3))
+        assert granted == [1, 2]
+        assert pool.in_use == 2
+        assert pool.queued == 1
+
+    def test_release_hands_to_waiter_fifo(self):
+        sim = Simulator()
+        pool = ThreadPool(sim, "threads", capacity=1)
+        granted = []
+        pool.acquire(lambda: granted.append("a"))
+        pool.acquire(lambda: granted.append("b"))
+        pool.acquire(lambda: granted.append("c"))
+        pool.release()
+        assert granted == ["a", "b"]
+        pool.release()
+        assert granted == ["a", "b", "c"]
+
+    def test_release_without_acquire_raises(self):
+        sim = Simulator()
+        pool = ThreadPool(sim, "threads", capacity=1)
+        with pytest.raises(SimulationError):
+            pool.release()
+
+    def test_in_use_drops_when_no_waiters(self):
+        sim = Simulator()
+        pool = ThreadPool(sim, "threads", capacity=2)
+        pool.acquire(lambda: None)
+        pool.release()
+        assert pool.in_use == 0
+
+    def test_completions_counted_on_release(self):
+        sim = Simulator()
+        pool = ThreadPool(sim, "threads", capacity=1)
+        pool.acquire(lambda: None)
+        pool.release()
+        assert pool.stats.completions == 1

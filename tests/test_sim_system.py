@@ -1,0 +1,196 @@
+"""Integration tests for the full simulated deployment.
+
+These validate the simulator against queueing-theoretic laws rather than
+point values: closed-workload throughput, utilisation laws, saturation
+throughput, determinism, and the per-application-server database queues.
+"""
+
+import pytest
+
+from repro.servers.architecture import DatabaseArchitecture, ServerArchitecture
+from repro.servers.catalogue import APP_SERV_F, APP_SERV_S, DB_SERVER
+from repro.simulation.system import (
+    SimulatedDeployment,
+    SimulationConfig,
+    simulate_deployment,
+)
+from repro.util.errors import ValidationError
+from repro.workload.trade import browse_class, buy_class, mixed_workload, typical_workload
+
+
+@pytest.fixture(scope="module")
+def light_run():
+    config = SimulationConfig(duration_s=40.0, warmup_s=10.0, seed=5)
+    return simulate_deployment(APP_SERV_F, typical_workload(400), config)
+
+
+@pytest.fixture(scope="module")
+def saturated_run():
+    config = SimulationConfig(duration_s=40.0, warmup_s=10.0, seed=5)
+    return simulate_deployment(APP_SERV_F, typical_workload(2200), config)
+
+
+class TestClosedWorkloadLaws:
+    def test_light_load_throughput_matches_cycle_law(self, light_run):
+        """X = N / (Z + R): 400 clients, 7 s think, small R."""
+        expected = 400 / (7.0 + light_run.mean_response_ms / 1000.0)
+        assert light_run.throughput_req_per_s == pytest.approx(expected, rel=0.05)
+
+    def test_utilisation_law(self, light_run):
+        """U = X * D with D the browse app demand (5.376 ms at speed 1)."""
+        expected = light_run.throughput_req_per_s * 5.376 / 1000.0
+        assert light_run.app_cpu_utilisation["AppServF"] == pytest.approx(
+            expected, rel=0.08
+        )
+
+    def test_db_calls_per_request(self, light_run):
+        assert light_run.db_requests_per_app_request == pytest.approx(1.14, abs=0.05)
+
+    def test_saturation_throughput_near_paper_value(self, saturated_run):
+        """AppServF saturates around the paper's 186 req/s."""
+        assert saturated_run.throughput_req_per_s == pytest.approx(186.0, rel=0.05)
+
+    def test_saturated_cpu_fully_utilised(self, saturated_run):
+        assert saturated_run.app_cpu_utilisation["AppServF"] > 0.98
+
+    def test_saturated_response_time_reflects_queueing(self, saturated_run):
+        """Past saturation R ~ N/X - Z grows to seconds."""
+        expected = 2200 / saturated_run.throughput_req_per_s * 1000.0 - 7000.0
+        assert saturated_run.mean_response_ms == pytest.approx(expected, rel=0.25)
+
+    def test_low_load_response_near_service_demand(self):
+        config = SimulationConfig(duration_s=60.0, warmup_s=10.0, seed=5)
+        result = simulate_deployment(APP_SERV_F, typical_workload(20), config)
+        # demand ~5.4 app + ~2.3 db + ~10 network: well under 30 ms.
+        assert 10.0 < result.mean_response_ms < 30.0
+
+
+class TestScalingAcrossArchitectures:
+    def test_slow_server_slower_and_lower_capacity(self):
+        config = SimulationConfig(duration_s=30.0, warmup_s=8.0, seed=5)
+        fast = simulate_deployment(APP_SERV_F, typical_workload(1200), config)
+        slow = simulate_deployment(APP_SERV_S, typical_workload(1200), config)
+        assert slow.throughput_req_per_s < fast.throughput_req_per_s
+        assert slow.mean_response_ms > fast.mean_response_ms
+
+    def test_slow_server_saturation_near_86(self):
+        config = SimulationConfig(duration_s=40.0, warmup_s=10.0, seed=5)
+        result = simulate_deployment(APP_SERV_S, typical_workload(1100), config)
+        assert result.throughput_req_per_s == pytest.approx(86.0, rel=0.06)
+
+
+class TestDeterminismAndClasses:
+    def test_same_seed_reproduces_exactly(self, tiny_config):
+        a = simulate_deployment(APP_SERV_F, typical_workload(150), tiny_config)
+        b = simulate_deployment(APP_SERV_F, typical_workload(150), tiny_config)
+        assert a.mean_response_ms == b.mean_response_ms
+        assert a.samples == b.samples
+        assert a.events_processed == b.events_processed
+
+    def test_different_seed_differs(self, tiny_config):
+        a = simulate_deployment(APP_SERV_F, typical_workload(150), tiny_config)
+        b = simulate_deployment(
+            APP_SERV_F, typical_workload(150), tiny_config.with_overrides(seed=99)
+        )
+        assert a.mean_response_ms != b.mean_response_ms
+
+    def test_mixed_workload_reports_both_classes(self, short_config):
+        result = simulate_deployment(
+            APP_SERV_F, mixed_workload(400, 0.25), short_config
+        )
+        assert set(result.per_class_mean_ms) == {"browse", "buy"}
+        # Buy requests are heavier: higher class response time.
+        assert result.per_class_mean_ms["buy"] > result.per_class_mean_ms["browse"]
+
+    def test_buy_fraction_reflected_in_throughput_split(self, short_config):
+        result = simulate_deployment(
+            APP_SERV_F, mixed_workload(400, 0.25), short_config
+        )
+        total = sum(result.per_class_throughput.values())
+        assert result.per_class_throughput["buy"] / total == pytest.approx(0.25, abs=0.05)
+
+    def test_zero_client_class_is_skipped(self, tiny_config):
+        result = simulate_deployment(
+            APP_SERV_F, {browse_class(): 100, buy_class(): 0}, tiny_config
+        )
+        assert list(result.per_class_mean_ms) == ["browse"]
+
+
+class TestMultiServerDeployment:
+    def test_two_servers_share_one_database(self, tiny_config):
+        deployment = SimulatedDeployment(
+            placements={
+                "f0": (APP_SERV_F, typical_workload(150)),
+                "f1": (APP_SERV_F, typical_workload(150)),
+            },
+            config=tiny_config,
+        )
+        result = deployment.run()
+        assert set(result.app_cpu_utilisation) == {"f0", "f1"}
+        # Both servers served traffic.
+        assert result.throughput_req_per_s > 30.0
+
+    def test_empty_deployment_rejected(self, tiny_config):
+        with pytest.raises(ValidationError):
+            SimulatedDeployment(placements={}, config=tiny_config).run()
+
+
+class TestCachingPath:
+    def test_ample_cache_no_misses_after_warmup(self):
+        config = SimulationConfig(
+            duration_s=30.0, warmup_s=10.0, seed=5, enable_cache=True,
+            cache_bytes=10**9,
+        )
+        result = simulate_deployment(APP_SERV_F, typical_workload(200), config)
+        assert result.cache_miss_rate == pytest.approx(0.0, abs=0.01)
+
+    def test_tiny_cache_misses_and_adds_db_calls(self):
+        base_config = SimulationConfig(duration_s=30.0, warmup_s=10.0, seed=5)
+        base = simulate_deployment(APP_SERV_S, typical_workload(400), base_config)
+        config = base_config.with_overrides(enable_cache=True, cache_bytes=100_000)
+        cached = simulate_deployment(APP_SERV_S, typical_workload(400), config)
+        assert cached.cache_miss_rate > 0.3
+        # Every miss costs exactly one extra database call (section 7.2).
+        extra_calls = (
+            cached.db_requests_per_app_request - base.db_requests_per_app_request
+        )
+        assert extra_calls == pytest.approx(cached.cache_miss_rate, abs=0.1)
+
+    def test_cache_misses_slow_responses_on_average(self):
+        """RT inflation is visible once averaged over seeds (a single run at
+        the knee is too noisy to compare point-wise)."""
+        def mean_rt(enable_cache: bool) -> float:
+            total = 0.0
+            for seed in (1, 2, 3):
+                config = SimulationConfig(
+                    duration_s=25.0,
+                    warmup_s=8.0,
+                    seed=seed,
+                    enable_cache=enable_cache,
+                    cache_bytes=60_000 if enable_cache else None,
+                )
+                total += simulate_deployment(
+                    APP_SERV_S, typical_workload(250), config
+                ).mean_response_ms
+            return total / 3
+
+        assert mean_rt(True) > mean_rt(False)
+
+    def test_cache_disabled_reports_none(self, light_run):
+        assert light_run.cache_miss_rate is None
+
+
+class TestDatabaseFairness:
+    def test_round_robin_serves_all_sources(self, tiny_config):
+        """With a tiny DB thread limit both app servers still make progress."""
+        db = DatabaseArchitecture(name="db", cpu_speed=1.0, max_concurrency=2)
+        deployment = SimulatedDeployment(
+            placements={
+                "a": (APP_SERV_F, typical_workload(200)),
+                "b": (APP_SERV_F, typical_workload(200)),
+            },
+            db_arch=db,
+            config=tiny_config,
+        )
+        result = deployment.run()
+        assert result.throughput_req_per_s > 20.0

@@ -1,0 +1,142 @@
+"""Tests for the transient (warm-up) model — the section-8.2 capability the
+historical method has and the other two lack."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.historical.transient import TransientModel, bucketed_response_curve
+from repro.util.errors import CalibrationError
+
+
+def synthetic_curve(steady=1000.0, amplitude=-800.0, tau=20_000.0, points=30):
+    times = np.linspace(1000.0, 120_000.0, points)
+    values = steady + amplitude * np.exp(-times / tau)
+    return times, values
+
+
+class TestBucketing:
+    def test_buckets_average_samples(self):
+        times = [0.0, 100.0, 2100.0, 2900.0]
+        values = [10.0, 20.0, 30.0, 50.0]
+        centres, means = bucketed_response_curve(times, values, bucket_ms=2000.0)
+        assert list(centres) == [1000.0, 3000.0]
+        assert list(means) == [15.0, 40.0]
+
+    def test_empty_buckets_dropped(self):
+        times = [0.0, 9000.0]
+        values = [10.0, 20.0]
+        centres, means = bucketed_response_curve(times, values, bucket_ms=2000.0)
+        assert len(centres) == 2
+
+    def test_relative_to_trace_start(self):
+        times = [50_000.0, 50_100.0]
+        values = [10.0, 20.0]
+        centres, _ = bucketed_response_curve(times, values, bucket_ms=1000.0)
+        assert list(centres) == [500.0]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(CalibrationError):
+            bucketed_response_curve([], [])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CalibrationError):
+            bucketed_response_curve([1.0], [1.0, 2.0])
+
+
+class TestTransientModel:
+    def test_fit_recovers_synthetic_parameters(self):
+        times, values = synthetic_curve()
+        model = TransientModel.fit(times, values, steady_state_ms=1000.0)
+        assert model.steady_state_ms == pytest.approx(1000.0)
+        assert model.amplitude_ms == pytest.approx(-800.0, rel=0.01)
+        assert model.tau_ms == pytest.approx(20_000.0, rel=0.01)
+
+    def test_fit_estimates_steady_state_from_tail(self):
+        times, values = synthetic_curve()
+        model = TransientModel.fit(times, values)
+        assert model.steady_state_ms == pytest.approx(1000.0, rel=0.02)
+
+    def test_predict_interpolates(self):
+        times, values = synthetic_curve()
+        model = TransientModel.fit(times, values, steady_state_ms=1000.0)
+        t = 30_000.0
+        expected = 1000.0 - 800.0 * math.exp(-t / 20_000.0)
+        assert model.predict_ms(t) == pytest.approx(expected, rel=0.01)
+
+    def test_settling_time(self):
+        model = TransientModel(steady_state_ms=1000.0, amplitude_ms=-800.0, tau_ms=20_000.0)
+        settle = model.time_to_settle_ms(tolerance=0.05)
+        # |amplitude| * exp(-t/tau) == 0.05 * steady at the settle time.
+        assert abs(model.predict_ms(settle) - 1000.0) == pytest.approx(50.0, rel=0.01)
+
+    def test_is_steady(self):
+        model = TransientModel(steady_state_ms=1000.0, amplitude_ms=-800.0, tau_ms=20_000.0)
+        settle = model.time_to_settle_ms()
+        assert not model.is_steady(settle * 0.5)
+        assert model.is_steady(settle * 1.01)
+
+    def test_overshoot_direction_supported(self):
+        # Response *decreasing* toward steady state (positive amplitude).
+        times = np.linspace(1000.0, 120_000.0, 30)
+        values = 1000.0 + 600.0 * np.exp(-times / 15_000.0)
+        model = TransientModel.fit(times, values, steady_state_ms=1000.0)
+        assert model.amplitude_ms == pytest.approx(600.0, rel=0.01)
+
+    def test_already_steady_trace(self):
+        times = np.linspace(0.0, 100_000.0, 20)
+        values = np.full(20, 500.0)
+        model = TransientModel.fit(times, values)
+        assert model.time_to_settle_ms() == 0.0
+        assert model.predict_ms(0.0) == pytest.approx(500.0)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(CalibrationError):
+            TransientModel.fit([1.0, 2.0], [1.0, 2.0])
+
+    def test_growing_divergence_rejected(self):
+        times = np.linspace(1000.0, 60_000.0, 20)
+        values = 100.0 + 0.05 * times  # never settles
+        with pytest.raises(CalibrationError, match="decay"):
+            TransientModel.fit(times, values, steady_state_ms=100.0)
+
+
+class TestSimulatorTrace:
+    @pytest.mark.slow
+    def test_saturated_server_settles_like_the_model(self):
+        """End to end: trace a cold saturated server, fit, check the fit
+        describes the curve better than assuming instant steady state."""
+        from repro.servers.catalogue import APP_SERV_F
+        from repro.simulation.system import SimulationConfig, simulate_deployment
+        from repro.workload.trade import typical_workload
+
+        config = SimulationConfig(
+            duration_s=90.0, warmup_s=0.001, seed=9, capture_trace=True
+        )
+        result = simulate_deployment(APP_SERV_F, typical_workload(1700), config)
+        assert result.trace is not None and len(result.trace) > 1000
+        times = [t for t, _, _ in result.trace]
+        values = [v for _, _, v in result.trace]
+        centres, means = bucketed_response_curve(times, values, bucket_ms=4000.0)
+        model = TransientModel.fit(centres, means)
+        # Early in the run the system is far from steady state (the fitted
+        # settle time is well past the first buckets)...
+        assert not model.is_steady(4000.0)
+        assert model.time_to_settle_ms() > 10_000.0
+        # ...and by the end of the trace the fit has converged to the tail.
+        late = float(means[-4:].mean())
+        assert model.predict_ms(centres[-1]) == pytest.approx(late, rel=0.35)
+        # The measured curve really was transient: the early buckets deviate
+        # far more from the steady state than the late ones.
+        early_dev = float(np.abs(means[:4] - model.steady_state_ms).mean())
+        late_dev = float(np.abs(means[-4:] - model.steady_state_ms).mean())
+        assert early_dev > 2 * late_dev
+
+    def test_trace_disabled_by_default(self, tiny_config):
+        from repro.servers.catalogue import APP_SERV_F
+        from repro.simulation.system import simulate_deployment
+        from repro.workload.trade import typical_workload
+
+        result = simulate_deployment(APP_SERV_F, typical_workload(50), tiny_config)
+        assert result.trace is None

@@ -1,0 +1,74 @@
+"""Unit tests for repro.util.rng (seeded stream management)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import ValidationError
+from repro.util.rng import RngStreams, spawn_rng
+
+
+class TestSpawnRng:
+    def test_same_seed_and_name_reproduce(self):
+        a = spawn_rng(42, "x").random(10)
+        b = spawn_rng(42, "x").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        a = spawn_rng(42, "x").random(10)
+        b = spawn_rng(42, "y").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = spawn_rng(1, "x").random(10)
+        b = spawn_rng(2, "x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValidationError):
+            spawn_rng(-1, "x")
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+    def test_spawn_is_deterministic_for_any_inputs(self, seed, name):
+        assert spawn_rng(seed, name).random() == spawn_rng(seed, name).random()
+
+
+class TestRngStreams:
+    def test_get_returns_same_generator_object(self):
+        streams = RngStreams(1)
+        assert streams.get("a") is streams.get("a")
+
+    def test_get_different_names_different_generators(self):
+        streams = RngStreams(1)
+        assert streams.get("a") is not streams.get("b")
+
+    def test_streams_match_spawn_rng(self):
+        assert RngStreams(9).get("svc").random() == spawn_rng(9, "svc").random()
+
+    def test_common_random_numbers_property(self):
+        """Adding a new stream must not perturb existing streams."""
+        solo = RngStreams(5)
+        values_solo = solo.get("think").random(5)
+
+        multi = RngStreams(5)
+        multi.get("other")  # created first, must not affect 'think'
+        values_multi = multi.get("think").random(5)
+        assert np.array_equal(values_solo, values_multi)
+
+    def test_fork_namespaces_children(self):
+        parent = RngStreams(5)
+        child_a = parent.fork("rep1").get("x").random(3)
+        child_b = parent.fork("rep2").get("x").random(3)
+        assert not np.array_equal(child_a, child_b)
+
+    def test_fork_is_deterministic(self):
+        a = RngStreams(5).fork("rep1").get("x").random(3)
+        b = RngStreams(5).fork("rep1").get("x").random(3)
+        assert np.array_equal(a, b)
+
+    def test_names_lists_created_streams(self):
+        streams = RngStreams(1)
+        streams.get("b")
+        streams.get("a")
+        assert streams.names() == ["a", "b"]

@@ -1,0 +1,77 @@
+"""Unit tests for repro.util.tables (text table rendering)."""
+
+import pytest
+
+from repro.util.tables import format_kv, format_series, format_table
+
+
+class TestFormatTable:
+    def test_headers_and_rows_rendered(self):
+        out = format_table(["a", "b"], [[1, 2], [3, 4]])
+        assert "a" in out and "b" in out
+        assert "1" in out and "4" in out
+
+    def test_title_rendered_with_underline(self):
+        out = format_table(["a"], [[1]], title="My Table")
+        lines = out.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_column_widths_align(self):
+        out = format_table(["col", "x"], [["long-value", 1]])
+        header, sep, row = out.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in out
+        assert "1.2345" not in out
+
+    def test_small_floats_use_scientific(self):
+        out = format_table(["x"], [[4e-06]], precision=3)
+        assert "e-06" in out
+
+    def test_nan_rendered(self):
+        out = format_table(["x"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+    def test_bools_rendered_verbatim(self):
+        out = format_table(["x"], [[True]])
+        assert "True" in out
+
+
+class TestFormatSeries:
+    def test_series_rendered_against_x(self):
+        out = format_series("n", [1.0, 2.0], {"y": [10.0, 20.0]})
+        assert "n" in out and "y" in out
+        assert "10" in out and "20" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            format_series("n", [1.0, 2.0], {"y": [10.0]})
+
+    def test_multiple_series(self):
+        out = format_series("n", [1.0], {"a": [1.0], "b": [2.0]})
+        assert "a" in out and "b" in out
+
+
+class TestFormatKv:
+    def test_pairs_rendered(self):
+        out = format_kv({"key": 1.5, "other": "text"})
+        assert "key" in out and "1.5" in out and "text" in out
+
+    def test_alignment(self):
+        out = format_kv({"a": 1, "longer": 2})
+        lines = out.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty_dict(self):
+        assert format_kv({}) == ""

@@ -1,0 +1,101 @@
+"""Tests for the calibration QA diagnostics."""
+
+import pytest
+
+from repro.historical.datastore import HistoricalDataPoint, HistoricalDataStore
+from repro.historical.model import HistoricalModel
+from repro.historical.relationships import LowerEquation, UpperEquation
+from repro.historical.scaling import ServerCalibration
+from repro.historical.throughput import ThroughputModel
+from repro.prediction.validation import diagnose_historical_model
+
+MX = {"F": 186.0, "VF": 320.0}
+
+
+def consistent_model() -> HistoricalModel:
+    """A model whose relationship-2 fits are exact (two servers -> fits
+    interpolate), so diagnostics should be clean."""
+    store = HistoricalDataStore()
+    for server, mx in MX.items():
+        n_star = mx / 0.14
+        for frac, mrt in ((0.35, 15.0), (0.66, 25.0), (1.15, 600.0), (1.6, 3000.0)):
+            store.add(
+                HistoricalDataPoint(
+                    server=server,
+                    n_clients=int(frac * n_star),
+                    mean_response_ms=mrt * (186.0 / mx) ** 0.3,
+                    throughput_req_per_s=min(0.14 * frac * n_star, mx),
+                    n_samples=50,
+                )
+            )
+    return HistoricalModel.calibrate(store, MX)
+
+
+class TestDiagnostics:
+    def test_consistent_model_is_healthy(self):
+        diagnostics = diagnose_historical_model(consistent_model())
+        assert diagnostics.healthy, diagnostics.warnings
+        # Two-server fits interpolate exactly: residuals ~ 0.
+        assert diagnostics.max_residual < 1e-6
+
+    def test_single_server_model_warns_about_relationship2(self):
+        model = HistoricalModel(
+            throughput_model=ThroughputModel(gradient=0.14, max_throughput={"F": 186.0})
+        )
+        model.server_calibrations["F"] = ServerCalibration(
+            server="F",
+            max_throughput_req_per_s=186.0,
+            lower=LowerEquation(c_l=10.0, lambda_l=1e-3),
+            upper=UpperEquation(lambda_u=5.4, c_u=-6900.0),
+        )
+        diagnostics = diagnose_historical_model(model)
+        assert not diagnostics.healthy
+        assert any("relationship 2" in w for w in diagnostics.warnings)
+
+    def test_non_growing_lower_equation_flagged(self):
+        model = consistent_model()
+        model.server_calibrations["F"] = ServerCalibration(
+            server="F",
+            max_throughput_req_per_s=186.0,
+            lower=LowerEquation(c_l=10.0, lambda_l=-1e-4),
+            upper=UpperEquation(lambda_u=5.4, c_u=-6900.0),
+        )
+        diagnostics = diagnose_historical_model(model)
+        assert any("does not grow" in w for w in diagnostics.warnings)
+
+    def test_flat_upper_slope_flagged(self):
+        model = consistent_model()
+        model.server_calibrations["F"] = ServerCalibration(
+            server="F",
+            max_throughput_req_per_s=186.0,
+            lower=LowerEquation(c_l=10.0, lambda_l=1e-3),
+            upper=UpperEquation(lambda_u=0.01, c_u=5.0),  # << 1000/186
+        )
+        diagnostics = diagnose_historical_model(model)
+        assert any("implausibly flat" in w for w in diagnostics.warnings)
+
+    def test_inverted_upper_slope_flagged(self):
+        model = consistent_model()
+        model.server_calibrations["F"] = ServerCalibration(
+            server="F",
+            max_throughput_req_per_s=186.0,
+            lower=LowerEquation(c_l=10.0, lambda_l=1e-3),
+            upper=UpperEquation(lambda_u=-1.0, c_u=5.0),
+        )
+        diagnostics = diagnose_historical_model(model)
+        assert any("inverted" in w for w in diagnostics.warnings)
+
+    def test_real_scenario_calibration_is_diagnosable(self, lqn_calibration_fast):
+        """The hybrid model built from LQN data should pass the QA gate —
+        its pseudo-data is noise-free."""
+        from repro.hybrid.model import AdvancedHybridModel
+        from repro.servers.catalogue import APP_SERV_F, APP_SERV_VF
+
+        hybrid = AdvancedHybridModel.build(
+            lqn_calibration_fast.to_model_parameters(),
+            [APP_SERV_F, APP_SERV_VF],
+            calibrate_mix=False,
+        )
+        diagnostics = diagnose_historical_model(hybrid.historical)
+        assert diagnostics.max_residual < 0.05
+        assert diagnostics.healthy, diagnostics.warnings

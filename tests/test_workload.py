@@ -1,0 +1,185 @@
+"""Unit tests for the synthesized Trade workload."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.rng import spawn_rng
+from repro.workload.operations import TRADE_OPERATIONS, Operation, operation
+from repro.workload.service_class import OperationMix, ScriptedSession, ServiceClass
+from repro.workload.trade import (
+    BROWSE_CLASS,
+    BUY_CLASS,
+    BUY_SESSION_LENGTH,
+    browse_class,
+    buy_class,
+    mixed_workload,
+    typical_workload,
+)
+
+
+class TestOperations:
+    def test_lookup_known_operation(self):
+        assert operation("quote").name == "quote"
+
+    def test_lookup_unknown_raises_with_candidates(self):
+        with pytest.raises(KeyError, match="quote"):
+            operation("nonexistent")
+
+    def test_all_operations_have_valid_request_types(self):
+        assert {op.request_type for op in TRADE_OPERATIONS.values()} == {"browse", "buy"}
+
+    def test_db_totals(self):
+        buy = operation("buy")
+        assert buy.db_cpu_total_ms == pytest.approx(buy.db_calls * buy.db_cpu_per_call_ms)
+        assert buy.db_disk_total_ms == pytest.approx(buy.db_calls * buy.db_disk_per_call_ms)
+
+    def test_invalid_request_type_rejected(self):
+        with pytest.raises(ValidationError):
+            Operation("bad", "unknown", 1.0, 1.0, 1.0, 1.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            Operation("bad", "browse", -1.0, 1.0, 1.0, 1.0)
+
+
+class TestCalibrationTargets:
+    """The class aggregates encode the paper's published numbers."""
+
+    def test_browse_app_demand_gives_186_req_s_on_f(self):
+        # 1000 / 5.376 = 186.01 req/s — the paper's AppServF max throughput.
+        assert BROWSE_CLASS.mean_app_demand_ms() == pytest.approx(5.376, abs=1e-9)
+
+    def test_browse_db_calls_match_paper(self):
+        assert BROWSE_CLASS.mean_db_calls() == pytest.approx(1.14, abs=1e-9)
+
+    def test_buy_db_calls_match_paper(self):
+        assert BUY_CLASS.mean_db_calls() == pytest.approx(2.0, abs=1e-9)
+
+    def test_buy_browse_cpu_ratio_matches_table2(self):
+        ratio = BUY_CLASS.mean_app_demand_ms() / BROWSE_CLASS.mean_app_demand_ms()
+        assert ratio == pytest.approx(8.761 / 4.505, rel=0.01)
+
+    def test_buy_db_cpu_per_call_matches_table2(self):
+        assert BUY_CLASS.mean_db_cpu_per_call_ms() == pytest.approx(1.613, abs=0.01)
+
+    def test_browse_db_cpu_per_call_matches_table2(self):
+        assert BROWSE_CLASS.mean_db_cpu_per_call_ms() == pytest.approx(0.8294, abs=1e-6)
+
+
+class TestOperationMix:
+    def test_probabilities_must_sum_to_one(self):
+        ops = (operation("quote"), operation("home"))
+        with pytest.raises(ValidationError):
+            OperationMix(operations=ops, probabilities=(0.5, 0.4))
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            OperationMix(operations=(operation("quote"),), probabilities=(0.5, 0.5))
+
+    def test_next_operation_respects_probabilities(self):
+        mix = OperationMix(
+            operations=(operation("quote"), operation("home")),
+            probabilities=(0.8, 0.2),
+        )
+        rng = spawn_rng(3, "mix")
+        draws = [mix.next_operation(rng, i).name for i in range(5000)]
+        assert np.mean([d == "quote" for d in draws]) == pytest.approx(0.8, abs=0.02)
+
+    def test_weighted_means(self):
+        mix = OperationMix(
+            operations=(operation("quote"), operation("portfolio")),
+            probabilities=(0.5, 0.5),
+        )
+        expected = 0.5 * operation("quote").app_demand_ms + 0.5 * operation("portfolio").app_demand_ms
+        assert mix.mean_app_demand_ms() == pytest.approx(expected)
+
+
+class TestScriptedSession:
+    def test_session_length(self):
+        assert BUY_CLASS.behaviour.session_length == BUY_SESSION_LENGTH == 12
+
+    def test_script_order(self):
+        session = BUY_CLASS.behaviour
+        assert session.operation_at(0).name == "register_login"
+        for i in range(1, 11):
+            assert session.operation_at(i).name == "buy"
+        assert session.operation_at(11).name == "logoff"
+
+    def test_script_wraps_around(self):
+        session = BUY_CLASS.behaviour
+        assert session.operation_at(12).name == "register_login"
+
+    def test_next_operation_ignores_rng(self):
+        session = BUY_CLASS.behaviour
+        rng = spawn_rng(3, "script")
+        assert session.next_operation(rng, 1).name == "buy"
+
+    def test_empty_session_rejected(self):
+        with pytest.raises(ValidationError):
+            ScriptedSession(prologue=(), body=(), body_repeats=0, epilogue=())
+
+    def test_mean_app_demand_averages_script(self):
+        session = BUY_CLASS.behaviour
+        ops = [session.operation_at(i) for i in range(12)]
+        expected = sum(op.app_demand_ms for op in ops) / 12
+        assert session.mean_app_demand_ms() == pytest.approx(expected)
+
+
+class TestServiceClass:
+    def test_think_time_default_seven_seconds(self):
+        assert BROWSE_CLASS.think_time_ms == 7000.0
+
+    def test_with_goal_copies(self):
+        constrained = BROWSE_CLASS.with_goal(300.0, name="browse_hi")
+        assert constrained.rt_goal_ms == 300.0
+        assert constrained.name == "browse_hi"
+        assert BROWSE_CLASS.rt_goal_ms is None
+
+    def test_request_type_fractions_browse_pure(self):
+        assert BROWSE_CLASS.request_type_fractions() == {"browse": pytest.approx(1.0)}
+
+    def test_request_type_fractions_buy_pure(self):
+        assert BUY_CLASS.request_type_fractions() == {"buy": pytest.approx(1.0)}
+
+    def test_total_demand_is_sum_of_tiers(self):
+        expected = (
+            BROWSE_CLASS.mean_app_demand_ms()
+            + BROWSE_CLASS.mean_db_calls()
+            * (
+                BROWSE_CLASS.mean_db_cpu_per_call_ms()
+                + BROWSE_CLASS.mean_db_disk_per_call_ms()
+            )
+        )
+        assert BROWSE_CLASS.mean_total_demand_ms() == pytest.approx(expected)
+
+
+class TestWorkloadBuilders:
+    def test_typical_workload_is_all_browse(self):
+        workload = typical_workload(100)
+        assert workload == {BROWSE_CLASS: 100}
+
+    def test_mixed_workload_split(self):
+        workload = mixed_workload(100, 0.25)
+        assert workload[BUY_CLASS] == 25
+        assert workload[BROWSE_CLASS] == 75
+
+    def test_mixed_workload_zero_buy_collapses(self):
+        workload = mixed_workload(100, 0.0)
+        assert BUY_CLASS not in workload
+
+    def test_mixed_workload_all_buy(self):
+        workload = mixed_workload(100, 1.0)
+        assert BROWSE_CLASS not in workload
+        assert workload[BUY_CLASS] == 100
+
+    def test_mixed_workload_zero_clients(self):
+        assert mixed_workload(0, 0.5) == {BROWSE_CLASS: 0}
+
+    def test_custom_think_time(self):
+        cls = browse_class(think_time_s=3.0)
+        assert cls.think_time_ms == 3000.0
+
+    def test_custom_buys_per_session(self):
+        cls = buy_class(buys_per_session=5)
+        assert cls.behaviour.session_length == 7
