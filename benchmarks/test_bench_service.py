@@ -1,0 +1,96 @@
+"""Benchmark: the prediction-serving layer under closed-loop load.
+
+Measures what the serving subsystem buys over raw predictor calls:
+
+* cold-miss vs warm-cache per-call latency for each method (the warm
+  path must be at least 10x faster than a cold layered solve — in
+  practice it is orders of magnitude faster);
+* aggregate service throughput at 1/4/16 load-generator threads for
+  all three predictors;
+* the full serving experiment report (tables + metrics export).
+"""
+
+import itertools
+
+import pytest
+
+from repro.experiments import serving
+from repro.experiments.scenario import build_predictors
+from repro.service import LoadGenConfig, LoadGenerator, PredictionService, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def predictors(warm_ground_truth):
+    return build_predictors(fast=True)
+
+
+def _by_name(predictors):
+    historical, lqn, hybrid, _ = predictors
+    return {"historical": historical, "layered_queuing": lqn, "hybrid": hybrid}
+
+
+@pytest.mark.parametrize("method", ["historical", "layered_queuing", "hybrid"])
+def test_bench_service_cold(benchmark, predictors, method):
+    """Cold-cache serving latency: every call is a distinct operating point."""
+    service = PredictionService(_by_name(predictors)[method])
+    counter = itertools.count(100)
+    with service:
+        benchmark(lambda: service.predict_mrt_ms("AppServS", next(counter)))
+
+
+@pytest.mark.parametrize("method", ["historical", "layered_queuing", "hybrid"])
+def test_bench_service_warm(benchmark, predictors, method):
+    """Warm-cache serving latency: the same operating point, memoized."""
+    service = PredictionService(_by_name(predictors)[method])
+    with service:
+        service.predict_mrt_ms("AppServS", 700)  # warm the entry
+        result = benchmark(lambda: service.predict_mrt_ms("AppServS", 700))
+        assert result > 0.0
+        assert service.cache.stats().hits > 0
+
+
+def test_bench_service_warm_lqn_at_least_10x_faster_than_cold(predictors):
+    """The acceptance floor, asserted directly from wall-clock timings."""
+    import time
+
+    _, lqn, _, _ = predictors
+    with PredictionService(lqn) as service:
+        start = time.perf_counter()
+        service.predict_mrt_ms("AppServS", 911)
+        cold = time.perf_counter() - start
+        repeats = 100
+        start = time.perf_counter()
+        for _ in range(repeats):
+            service.predict_mrt_ms("AppServS", 911)
+        warm = (time.perf_counter() - start) / repeats
+    assert cold / warm >= 10.0, (cold, warm)
+
+
+@pytest.mark.parametrize("threads", [1, 4, 16])
+@pytest.mark.parametrize("method", ["historical", "layered_queuing", "hybrid"])
+def test_bench_service_throughput(benchmark, predictors, method, threads):
+    """Aggregate serving throughput under N closed-loop generator threads."""
+    by_name = _by_name(predictors)
+    fallback = by_name["historical"] if method != "historical" else None
+    service = PredictionService(
+        by_name[method], fallback=fallback, config=ServiceConfig(max_workers=8)
+    )
+    config = LoadGenConfig(
+        threads=threads,
+        requests_per_thread=max(2, 64 // threads),
+        servers=("AppServS",),
+        client_range=(100, 1100),
+    )
+    with service:
+        report = benchmark.pedantic(
+            lambda: LoadGenerator(service, config).run(), rounds=3, iterations=1
+        )
+    assert report.errors == 0
+    assert report.throughput_rps > 0.0
+
+
+def test_bench_service_report(benchmark, emit, warm_ground_truth):
+    result = benchmark.pedantic(lambda: serving.run(fast=True), rounds=1, iterations=1)
+    emit("serving", result.rendered)
+    cold, warm = result.data["cold_warm"]["layered_queuing"]
+    assert cold / warm >= 10.0

@@ -18,6 +18,8 @@ The library provides:
   (:mod:`repro.distribution`) and cache-effect modelling
   (:mod:`repro.caching`);
 * the SLA-driven, slack-tuned resource manager (:mod:`repro.resource_manager`);
+* a concurrent, cached, metered prediction-serving layer that puts any
+  predictor online behind the same protocol (:mod:`repro.service`);
 * one experiment driver per table/figure of the paper
   (:mod:`repro.experiments`).
 
@@ -52,6 +54,12 @@ from repro.prediction import (
     Predictor,
 )
 from repro.servers import APP_SERV_F, APP_SERV_S, APP_SERV_VF, ServerArchitecture
+from repro.service import (
+    LoadGenConfig,
+    LoadGenerator,
+    PredictionService,
+    ServiceConfig,
+)
 from repro.simulation import SimulationConfig, SimulationResult, simulate_deployment
 from repro.workload import ServiceClass, browse_class, buy_class, mixed_workload, typical_workload
 
@@ -76,6 +84,10 @@ __all__ = [
     "APP_SERV_S",
     "APP_SERV_VF",
     "ServerArchitecture",
+    "PredictionService",
+    "ServiceConfig",
+    "LoadGenerator",
+    "LoadGenConfig",
     "SimulationConfig",
     "SimulationResult",
     "simulate_deployment",

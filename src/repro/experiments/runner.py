@@ -35,6 +35,7 @@ EXPERIMENTS: dict[str, str] = {
     "caching": "repro.experiments.caching",
     "delay": "repro.experiments.delay",
     "recalibration": "repro.experiments.recalibration",
+    "serving": "repro.experiments.serving",
 }
 
 

@@ -16,6 +16,7 @@ historical-fast after the start-up delay recorded at construction.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
@@ -31,6 +32,7 @@ from repro.workload.trade import mixed_workload
 __all__ = [
     "PredictionTimer",
     "Predictor",
+    "ClientsAtMaxMixin",
     "HistoricalPredictor",
     "LqnPredictor",
     "HybridPredictor",
@@ -39,21 +41,31 @@ __all__ = [
 
 @dataclass
 class PredictionTimer:
-    """Cumulative prediction-delay accounting for one predictor."""
+    """Cumulative prediction-delay accounting for one predictor.
+
+    Thread-safe: predictors are shared across the serving layer's worker
+    threads, so the read-modify-write of the two accumulators is guarded
+    by a lock (an unlocked ``+=`` loses updates under contention).
+    """
 
     evaluations: int = 0
     total_time_s: float = 0.0
     startup_delay_s: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record(self, elapsed_s: float) -> None:
         """Add one evaluation's wall-clock time."""
-        self.evaluations += 1
-        self.total_time_s += elapsed_s
+        with self._lock:
+            self.evaluations += 1
+            self.total_time_s += elapsed_s
 
     @property
     def mean_delay_s(self) -> float:
         """Mean per-prediction delay (s)."""
-        return self.total_time_s / self.evaluations if self.evaluations else 0.0
+        with self._lock:
+            return self.total_time_s / self.evaluations if self.evaluations else 0.0
 
 
 @runtime_checkable
@@ -82,7 +94,25 @@ class Predictor(Protocol):
         ...
 
 
-class HistoricalPredictor:
+class ClientsAtMaxMixin:
+    """Shared ``clients_at_max`` for predictors backed by a throughput model.
+
+    The historical and hybrid predictors both expose the max-throughput
+    load (used by the percentile predictor) from their underlying
+    historical throughput model; subclasses supply that model via
+    :meth:`_throughput_model` and inherit the query.
+    """
+
+    def _throughput_model(self):
+        """The backing clients→throughput model (subclass hook)."""
+        raise NotImplementedError  # pragma: no cover - abstract hook
+
+    def clients_at_max(self, server: str) -> float:
+        """Max-throughput load (used by the percentile predictor)."""
+        return self._throughput_model().clients_at_max(server)
+
+
+class HistoricalPredictor(ClientsAtMaxMixin):
     """The historical (HYDRA) method behind the common interface."""
 
     def __init__(self, model: HistoricalModel, *, name: str = "historical"):
@@ -114,9 +144,9 @@ class HistoricalPredictor:
         finally:
             self.timer.record(time.perf_counter() - start)
 
-    def clients_at_max(self, server: str) -> float:
-        """Max-throughput load (used by the percentile predictor)."""
-        return self.model.throughput_model.clients_at_max(server)
+    def _throughput_model(self):
+        """The historical model's clients→throughput relationship."""
+        return self.model.throughput_model
 
 
 class LqnPredictor:
@@ -214,7 +244,7 @@ class LqnPredictor:
             self.timer.record(time.perf_counter() - start)
 
 
-class HybridPredictor:
+class HybridPredictor(ClientsAtMaxMixin):
     """The hybrid method behind the common interface.
 
     Construction (via :meth:`from_parameters`) pays the start-up delay of
@@ -270,6 +300,6 @@ class HybridPredictor:
         finally:
             self.timer.record(time.perf_counter() - start)
 
-    def clients_at_max(self, server: str) -> float:
-        """Max-throughput load (used by the percentile predictor)."""
-        return self.model.historical.throughput_model.clients_at_max(server)
+    def _throughput_model(self):
+        """The LQN-calibrated historical part's throughput relationship."""
+        return self.model.historical.throughput_model

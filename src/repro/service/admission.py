@@ -1,0 +1,162 @@
+"""Bounded admission control, retry policy and saturation signalling.
+
+A prediction service in a resource manager's control loop must degrade
+predictably, not queue unboundedly: a capacity decision delayed by ten
+queued LQN solves is worth less than an instant, slightly-less-accurate
+historical answer (the paper's whole section-8.5 argument).  This module
+supplies the pieces the :class:`~repro.service.service.PredictionService`
+composes:
+
+* :class:`AdmissionController` — a bounded concurrent-request budget;
+  requests beyond it are *rejected up front* so the caller can fall back
+  immediately instead of waiting;
+* :func:`call_with_retries` — bounded retry with exponential backoff for
+  transient failures (a :class:`~repro.util.errors.CalibrationError`
+  from a model mid-recalibration, a solver
+  :class:`~repro.util.errors.ConvergenceError` near saturation);
+* the exception types the serving layer uses to signal saturation and
+  per-request timeout when no fallback predictor is registered.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.errors import CalibrationError, ConvergenceError, ReproError
+from repro.util.validation import check_non_negative_int, check_positive_int, require
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "ServiceSaturatedError",
+    "PredictionTimeoutError",
+    "call_with_retries",
+]
+
+
+class ServiceSaturatedError(ReproError):
+    """The service's bounded request queue is full and no fallback exists."""
+
+
+class PredictionTimeoutError(ReproError):
+    """A prediction missed its deadline and no fallback predictor exists."""
+
+
+# Errors worth retrying: transient by nature (a model being refit under
+# the online-recalibration workflow, a solver failing to converge at an
+# operating point it handles fine on the next attempt with fresh
+# under-relaxation), unlike e.g. ValidationError which never heals.
+TRANSIENT_ERRORS: tuple[type[Exception], ...] = (CalibrationError, ConvergenceError)
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tunables of the admission/retry policy.
+
+    ``max_pending`` bounds how many requests may be past admission at
+    once (executing or waiting on the pool); ``timeout_s`` is the
+    per-request deadline after which the service degrades to its
+    fallback; the retry triple implements exponential backoff
+    (``backoff_initial_s * backoff_multiplier**attempt``) for up to
+    ``max_retries`` re-attempts on transient errors.
+    """
+
+    max_pending: int = 64
+    timeout_s: float | None = 5.0
+    max_retries: int = 2
+    backoff_initial_s: float = 0.005
+    backoff_multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        """Validate the configured policy."""
+        check_positive_int(self.max_pending, "max_pending")
+        if self.timeout_s is not None:
+            require(self.timeout_s > 0.0, "timeout_s must be positive or None")
+        check_non_negative_int(self.max_retries, "max_retries")
+        require(self.backoff_initial_s >= 0.0, "backoff_initial_s must be >= 0")
+        require(self.backoff_multiplier >= 1.0, "backoff_multiplier must be >= 1")
+
+
+def call_with_retries(
+    fn: Callable[[], Any],
+    config: AdmissionConfig,
+    *,
+    on_retry: Callable[[Exception], None] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Any:
+    """Run ``fn``, retrying transient errors with exponential backoff.
+
+    Only :data:`TRANSIENT_ERRORS` are retried, at most
+    ``config.max_retries`` times, sleeping
+    ``backoff_initial_s * multiplier**attempt`` between attempts;
+    anything else (and the final transient failure) propagates.
+    ``on_retry`` is invoked with the error before each re-attempt so the
+    service can count retries; ``sleep`` is injectable for tests.
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except TRANSIENT_ERRORS as error:
+            if attempt >= config.max_retries:
+                raise
+            if on_retry is not None:
+                on_retry(error)
+            sleep(config.backoff_initial_s * config.backoff_multiplier**attempt)
+            attempt += 1
+
+
+class AdmissionController:
+    """A bounded budget of concurrently admitted requests.
+
+    ``try_enter`` admits a request iff fewer than ``max_pending`` are
+    already past admission, without blocking — rejection must be
+    instant so the caller can degrade to its fallback predictor with
+    zero queueing delay.  Callers must pair every successful
+    ``try_enter`` with an ``exit`` (the service does this in a
+    ``finally``).
+    """
+
+    def __init__(self, config: AdmissionConfig | None = None):
+        self.config = config or AdmissionConfig()
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._admitted_total = 0
+        self._rejected_total = 0
+
+    def try_enter(self) -> bool:
+        """Admit one request if the budget allows; never blocks."""
+        with self._lock:
+            if self._pending >= self.config.max_pending:
+                self._rejected_total += 1
+                return False
+            self._pending += 1
+            self._admitted_total += 1
+            return True
+
+    def exit(self) -> None:
+        """Release one admitted request's slot."""
+        with self._lock:
+            require(self._pending > 0, "admission exit without a matching enter")
+            self._pending -= 1
+
+    @property
+    def pending(self) -> int:
+        """Requests currently past admission (executing or waiting)."""
+        with self._lock:
+            return self._pending
+
+    @property
+    def admitted_total(self) -> int:
+        """Requests admitted since construction."""
+        with self._lock:
+            return self._admitted_total
+
+    @property
+    def rejected_total(self) -> int:
+        """Requests rejected at admission since construction."""
+        with self._lock:
+            return self._rejected_total

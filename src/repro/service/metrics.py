@@ -1,0 +1,246 @@
+"""Thread-safe service metrics: counters, gauges and latency histograms.
+
+The serving layer needs richer accounting than the cumulative
+:class:`~repro.prediction.interface.PredictionTimer` the offline
+experiments read: a resource manager operating a shared prediction
+service wants tail latencies (p95/p99, not just the mean), cache
+hit rates and degradation counts, all collected concurrently from many
+threads.  This module provides that registry.  A
+:class:`LatencyHistogram` subsumes everything a ``PredictionTimer``
+reports — ``count`` is its ``evaluations``, ``total_s`` its
+``total_time_s`` and ``mean_s`` its ``mean_delay_s`` — and adds
+fixed-bucket quantile export on top.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from repro.util.validation import require
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+]
+
+# Log-spaced bounds from 1 µs to 30 s: fine enough to separate a
+# closed-form historical lookup (µs) from an LQN solve (ms-to-s) in one
+# histogram. The final +inf bucket catches anything slower.
+DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = tuple(
+    10.0 ** (e / 3.0) for e in range(-18, 5)
+) + (30.0,)
+
+
+class Counter:
+    """A monotonically increasing, thread-safe event counter."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A thread-safe instantaneous value (queue depth, in-flight count...)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = value
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge's value by ``delta`` (may be negative)."""
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        with self._lock:
+            return self._value
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram with interpolated quantile export.
+
+    Buckets are defined by their (sorted, strictly increasing) upper
+    bounds in seconds; one implicit overflow bucket catches observations
+    above the last bound.  Quantiles are estimated by linear
+    interpolation inside the bucket containing the requested rank, which
+    is the standard fixed-bucket (Prometheus-style) estimator: exact
+    enough for the p50/p95/p99 the serving experiments report, with O(1)
+    memory regardless of request volume.
+    """
+
+    def __init__(self, buckets_s: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S):
+        require(len(buckets_s) > 0, "histogram needs at least one bucket bound")
+        require(
+            all(b > a for a, b in zip(buckets_s, buckets_s[1:])),
+            "histogram bucket bounds must be strictly increasing",
+        )
+        self._bounds = tuple(float(b) for b in buckets_s)
+        self._counts = [0] * (len(self._bounds) + 1)  # +1 overflow
+        self._lock = threading.Lock()
+        self._count = 0
+        self._total_s = 0.0
+        self._max_s = 0.0
+
+    def observe(self, elapsed_s: float) -> None:
+        """Record one observation (seconds)."""
+        index = self._bucket_index(elapsed_s)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._total_s += elapsed_s
+            if elapsed_s > self._max_s:
+                self._max_s = elapsed_s
+
+    def _bucket_index(self, elapsed_s: float) -> int:
+        lo, hi = 0, len(self._bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if elapsed_s <= self._bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def count(self) -> int:
+        """Number of observations (a ``PredictionTimer``'s ``evaluations``)."""
+        with self._lock:
+            return self._count
+
+    @property
+    def total_s(self) -> float:
+        """Sum of observations (a ``PredictionTimer``'s ``total_time_s``)."""
+        with self._lock:
+            return self._total_s
+
+    @property
+    def mean_s(self) -> float:
+        """Mean observation (a ``PredictionTimer``'s ``mean_delay_s``)."""
+        with self._lock:
+            return self._total_s / self._count if self._count else 0.0
+
+    @property
+    def max_s(self) -> float:
+        """Largest observation seen."""
+        with self._lock:
+            return self._max_s
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (seconds), 0 when empty.
+
+        Linear interpolation inside the bucket holding rank ``q * count``;
+        the overflow bucket reports the maximum observation seen.
+        """
+        require(0.0 <= q <= 1.0, "quantile must be in [0, 1]")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            cumulative = 0
+            for i, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= rank:
+                    if i >= len(self._bounds):  # overflow bucket
+                        return self._max_s
+                    lower = self._bounds[i - 1] if i > 0 else 0.0
+                    upper = min(self._bounds[i], self._max_s)
+                    upper = max(upper, lower)
+                    fraction = (rank - cumulative) / bucket_count
+                    return lower + fraction * (upper - lower)
+                cumulative += bucket_count
+            return self._max_s  # pragma: no cover - defensive
+
+    def percentiles(self) -> dict[str, float]:
+        """The p50/p95/p99 export (seconds) the serving reports print."""
+        return {
+            "p50_s": self.quantile(0.50),
+            "p95_s": self.quantile(0.95),
+            "p99_s": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """A named registry of counters, gauges and latency histograms.
+
+    Instruments are created on first access (``registry.counter("hits")``)
+    and shared thereafter, so concurrent callers always increment the
+    same underlying instrument.  :meth:`export` flattens everything into
+    one ``{name: value}`` dict for rendering or assertions.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get (creating on first use) the counter called ``name``."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter()
+            return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """Get (creating on first use) the gauge called ``name``."""
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge()
+            return self._gauges[name]
+
+    def histogram(
+        self, name: str, buckets_s: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S
+    ) -> LatencyHistogram:
+        """Get (creating on first use) the latency histogram ``name``."""
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = LatencyHistogram(buckets_s)
+            return self._histograms[name]
+
+    def export(self) -> dict[str, float]:
+        """Flatten every instrument into one ``{metric_name: value}`` dict.
+
+        Histograms export ``<name>.count``, ``<name>.total_s``,
+        ``<name>.mean_s``, ``<name>.max_s`` and the three standard
+        percentiles, so a single dict carries the whole service state.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        out: dict[str, float] = {}
+        for name, counter in sorted(counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(gauges.items()):
+            out[name] = gauge.value
+        for name, histogram in sorted(histograms.items()):
+            out[f"{name}.count"] = histogram.count
+            out[f"{name}.total_s"] = histogram.total_s
+            out[f"{name}.mean_s"] = histogram.mean_s
+            out[f"{name}.max_s"] = histogram.max_s
+            for key, value in histogram.percentiles().items():
+                out[f"{name}.{key}"] = value
+        return out

@@ -1,0 +1,115 @@
+"""Thread-pool execution with in-flight request coalescing.
+
+When many concurrent callers ask the service the same (quantized)
+question that is not yet cached, executing the underlying predictor once
+per caller multiplies exactly the cost the paper warns about — an LQN
+capacity query is already a multi-solve search (section 8.2), so ten
+simultaneous copies of it would be ten searches.  The
+:class:`CoalescingPool` deduplicates *in-flight* work: the first caller
+for a key starts the computation, every later caller that arrives before
+it finishes receives the same :class:`~concurrent.futures.Future`, and
+the work function runs exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["CoalescingPool", "PoolStats"]
+
+
+@dataclass
+class PoolStats:
+    """A snapshot of the pool's coalescing effectiveness."""
+
+    submitted: int = 0  # submit() calls
+    coalesced: int = 0  # calls satisfied by an already-in-flight future
+    executed: int = 0  # work functions actually run
+
+    @property
+    def coalescing_rate(self) -> float:
+        """Fraction of submissions that piggybacked on in-flight work."""
+        return self.coalesced / self.submitted if self.submitted else 0.0
+
+
+class CoalescingPool:
+    """A bounded worker pool that deduplicates identical in-flight work.
+
+    ``submit(key, fn)`` returns a future for ``fn()``; if a future for
+    the same ``key`` is still in flight it is returned instead and
+    ``fn`` is never invoked for this call.  Keys use the same quantized
+    identity as the prediction cache, so "identical" means "would have
+    hit the same cache entry".
+
+    The in-flight table is pruned by a done-callback *before* waiters
+    observe completion ordering guarantees; a submission racing with
+    completion either joins the finishing future (and gets its result)
+    or starts a fresh computation (and, in the serving stack, finds the
+    value already cached) — both are correct, neither double-counts.
+    """
+
+    def __init__(self, max_workers: int = 4):
+        check_positive_int(max_workers, "max_workers")
+        self.max_workers = max_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, Future] = {}
+        self._stats = PoolStats()
+
+    def submit(self, key: Hashable, fn: Callable[[], Any]) -> Future:
+        """Run ``fn`` on the pool (or join the in-flight run for ``key``)."""
+
+        def _run() -> Any:
+            with self._lock:
+                self._stats.executed += 1
+            return fn()
+
+        with self._lock:
+            self._stats.submitted += 1
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self._stats.coalesced += 1
+                return existing
+            future = self._executor.submit(_run)
+            self._inflight[key] = future
+
+        def _forget(done: Future, *, key: Hashable = key) -> None:
+            with self._lock:
+                if self._inflight.get(key) is done:
+                    del self._inflight[key]
+
+        future.add_done_callback(_forget)
+        return future
+
+    def inflight_count(self) -> int:
+        """Number of distinct keys currently being computed."""
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> PoolStats:
+        """A consistent snapshot of the coalescing counters."""
+        with self._lock:
+            return PoolStats(
+                submitted=self._stats.submitted,
+                coalesced=self._stats.coalesced,
+                executed=self._stats.executed,
+            )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker threads (idempotent)."""
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "CoalescingPool":
+        """Context-manager entry: the pool itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: shut the workers down."""
+        self.shutdown()

@@ -1,0 +1,302 @@
+"""The :class:`PredictionService` facade — any predictor, served online.
+
+Composes the serving-layer pieces (quantized TTL+LRU cache, coalescing
+thread pool, bounded admission with retries, metrics) behind the
+existing :class:`~repro.prediction.interface.Predictor` protocol, so a
+resource manager or experiment written against a raw predictor runs on
+the service unchanged — it just gets concurrency, memoization and
+graceful degradation for free.
+
+Degradation policy (in the order it is applied):
+
+1. **Cache hit** → answer in microseconds, whatever the backing method.
+2. **Admission rejection** (bounded queue full) → answer from the
+   registered ``fallback`` predictor immediately (the paper's
+   historical method is the natural fallback: closed-form, ~µs); no
+   fallback → :class:`~repro.service.admission.ServiceSaturatedError`.
+3. **Transient failure** (``CalibrationError``/``ConvergenceError``)
+   → bounded retries with exponential backoff, then fallback/raise.
+4. **Deadline miss** → fallback (the abandoned solve still completes on
+   the pool and populates the cache for future requests); no fallback →
+   :class:`~repro.service.admission.PredictionTimeoutError`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.prediction.interface import PredictionTimer, Predictor
+from repro.service.admission import (
+    TRANSIENT_ERRORS,
+    AdmissionConfig,
+    AdmissionController,
+    PredictionTimeoutError,
+    ServiceSaturatedError,
+    call_with_retries,
+)
+from repro.service.cache import PredictionCache, quantize_key
+from repro.service.metrics import MetricsRegistry
+from repro.service.pool import CoalescingPool
+
+__all__ = ["ServiceConfig", "PredictionService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`PredictionService` instance."""
+
+    max_workers: int = 4
+    cache_entries: int = 4096
+    cache_ttl_s: float | None = None
+    operand_step: float = 1.0  # cache-grid step for client counts / RT goals
+    buy_step: float = 0.01  # cache-grid step for the buy fraction
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+
+
+class PredictionService:
+    """Serve a :class:`~repro.prediction.interface.Predictor` online.
+
+    Satisfies the ``Predictor`` protocol itself (``name``, ``timer``,
+    the three query methods), so it can stand wherever a raw predictor
+    does — as a resource manager's model, as ground truth in
+    :func:`~repro.resource_manager.runtime.evaluate_runtime`, or under
+    the section-8.5 delay experiment — while adding:
+
+    * memoization on the quantized operating-point grid;
+    * a worker pool with in-flight coalescing (N concurrent identical
+      LQN solves cost one solve);
+    * bounded admission, per-request deadlines, transient-error retries
+      and graceful degradation to a fast ``fallback`` predictor;
+    * a metrics registry exporting hit rates, p50/p95/p99 latencies and
+      degradation counts.
+
+    The ``timer`` records *service-level* delays (what a caller
+    experienced, cache hits included), subsuming the role the raw
+    predictors' timers play in the offline delay comparison.
+    """
+
+    def __init__(
+        self,
+        primary: Predictor,
+        *,
+        fallback: Predictor | None = None,
+        config: ServiceConfig | None = None,
+        name: str | None = None,
+    ):
+        self.primary = primary
+        self.fallback = fallback
+        self.config = config or ServiceConfig()
+        self.name = name if name is not None else f"service({primary.name})"
+        self.timer = PredictionTimer(
+            startup_delay_s=getattr(primary.timer, "startup_delay_s", 0.0)
+        )
+        self.metrics = MetricsRegistry()
+        self.cache = PredictionCache(
+            max_entries=self.config.cache_entries, ttl_s=self.config.cache_ttl_s
+        )
+        self.pool = CoalescingPool(max_workers=self.config.max_workers)
+        self.admission = AdmissionController(self.config.admission)
+
+    # -- Predictor protocol ---------------------------------------------------
+
+    def predict_mrt_ms(
+        self, server: str, n_clients: float, *, buy_fraction: float = 0.0
+    ) -> float:
+        """Predicted mean response time (ms), served with caching."""
+        return self._serve(
+            "mrt",
+            server,
+            n_clients,
+            buy_fraction,
+            lambda: self.primary.predict_mrt_ms(
+                server, n_clients, buy_fraction=buy_fraction
+            ),
+            lambda p: p.predict_mrt_ms(server, n_clients, buy_fraction=buy_fraction),
+        )
+
+    def predict_throughput(
+        self, server: str, n_clients: float, *, buy_fraction: float = 0.0
+    ) -> float:
+        """Predicted throughput (req/s), served with caching."""
+        return self._serve(
+            "throughput",
+            server,
+            n_clients,
+            buy_fraction,
+            lambda: self.primary.predict_throughput(
+                server, n_clients, buy_fraction=buy_fraction
+            ),
+            lambda p: p.predict_throughput(server, n_clients, buy_fraction=buy_fraction),
+        )
+
+    def max_clients(
+        self, server: str, rt_goal_ms: float, *, buy_fraction: float = 0.0
+    ) -> int:
+        """Capacity under an SLA goal, served with caching.
+
+        The cache operand is the goal itself, so repeated capacity
+        queries — the layered method's most expensive operation, one
+        solve per search probe — collapse to one search per grid cell.
+        """
+        return self._serve(
+            "capacity",
+            server,
+            rt_goal_ms,
+            buy_fraction,
+            lambda: self.primary.max_clients(
+                server, rt_goal_ms, buy_fraction=buy_fraction
+            ),
+            lambda p: p.max_clients(server, rt_goal_ms, buy_fraction=buy_fraction),
+        )
+
+    def clients_at_max(self, server: str) -> float:
+        """Max-throughput load, delegated to whichever side can answer.
+
+        The percentile predictor needs this; the primary answers when it
+        is historical/hybrid, otherwise the fallback does.
+        """
+        for predictor in (self.primary, self.fallback):
+            query = getattr(predictor, "clients_at_max", None)
+            if query is not None:
+                return query(server)
+        raise AttributeError(
+            f"neither {self.primary.name!r} nor the fallback exposes clients_at_max"
+        )
+
+    # -- operations -----------------------------------------------------------
+
+    def invalidate(self, server: str | None = None) -> int:
+        """Drop cached predictions (for ``server``, or all) after recalibration."""
+        dropped = self.cache.invalidate(server)
+        self.metrics.counter("invalidations").inc()
+        return dropped
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the worker pool (idempotent)."""
+        self.pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "PredictionService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: shut the worker pool down."""
+        self.shutdown()
+
+    def export_metrics(self) -> dict[str, float]:
+        """One flat dict of every service metric, cache and pool stat."""
+        out = self.metrics.export()
+        cache = self.cache.stats()
+        out.update(
+            {
+                "cache.requests": cache.requests,
+                "cache.hits": cache.hits,
+                "cache.misses": cache.misses,
+                "cache.evictions": cache.evictions,
+                "cache.expirations": cache.expirations,
+                "cache.invalidated": cache.invalidated,
+                "cache.hit_rate": cache.hit_rate,
+            }
+        )
+        pool = self.pool.stats()
+        out.update(
+            {
+                "pool.submitted": pool.submitted,
+                "pool.coalesced": pool.coalesced,
+                "pool.executed": pool.executed,
+                "admission.admitted": self.admission.admitted_total,
+                "admission.rejected": self.admission.rejected_total,
+                "admission.pending": self.admission.pending,
+            }
+        )
+        return out
+
+    # -- the serving path -----------------------------------------------------
+
+    def _degrade(
+        self,
+        reason: str,
+        fallback_call: Callable[[Predictor], float],
+        error: Exception,
+    ) -> float:
+        """Answer from the fallback predictor (or re-raise ``error``)."""
+        self.metrics.counter(f"degraded.{reason}").inc()
+        self.metrics.counter("degraded").inc()
+        if self.fallback is None:
+            raise error
+        return fallback_call(self.fallback)
+
+    def _serve(
+        self,
+        kind: str,
+        server: str,
+        operand: float,
+        buy_fraction: float,
+        compute: Callable[[], float],
+        fallback_call: Callable[[Predictor], float],
+    ) -> float:
+        """The common serving path: cache → admission → pool → degrade."""
+        start = time.perf_counter()
+        latency = self.metrics.histogram("latency")
+        self.metrics.counter("requests").inc()
+        key = quantize_key(
+            server,
+            kind,
+            operand,
+            buy_fraction,
+            operand_step=self.config.operand_step,
+            buy_step=self.config.buy_step,
+        )
+        try:
+            hit, value = self.cache.get(key)
+            if hit:
+                return value
+
+            if not self.admission.try_enter():
+                return self._degrade(
+                    "saturated",
+                    fallback_call,
+                    ServiceSaturatedError(
+                        f"{self.name}: admission queue full "
+                        f"({self.config.admission.max_pending} pending) and no "
+                        f"fallback predictor is registered"
+                    ),
+                )
+            try:
+
+                def _task() -> float:
+                    result = call_with_retries(
+                        compute,
+                        self.config.admission,
+                        on_retry=lambda _e: self.metrics.counter("retries").inc(),
+                    )
+                    self.cache.put(key, result)
+                    return result
+
+                future = self.pool.submit(key, _task)
+                try:
+                    return future.result(timeout=self.config.admission.timeout_s)
+                except FutureTimeoutError:
+                    self.metrics.counter("timeouts").inc()
+                    return self._degrade(
+                        "timeout",
+                        fallback_call,
+                        PredictionTimeoutError(
+                            f"{self.name}: {kind} prediction for {server!r} missed "
+                            f"its {self.config.admission.timeout_s}s deadline and "
+                            f"no fallback predictor is registered"
+                        ),
+                    )
+                except TRANSIENT_ERRORS as error:  # survived the retries
+                    self.metrics.counter("errors").inc()
+                    return self._degrade("error", fallback_call, error)
+            finally:
+                self.admission.exit()
+        finally:
+            elapsed = time.perf_counter() - start
+            latency.observe(elapsed)
+            self.metrics.histogram(f"latency.{kind}").observe(elapsed)
+            self.timer.record(elapsed)

@@ -35,6 +35,7 @@ def test_subpackages_importable():
     import repro.prediction
     import repro.resource_manager
     import repro.servers
+    import repro.service
     import repro.simulation
     import repro.util
     import repro.workload  # noqa: F401
@@ -59,6 +60,7 @@ def test_experiment_registry_complete():
         "caching",
         "delay",
         "recalibration",
+        "serving",
     }
     assert set(EXPERIMENTS) == expected
 
