@@ -1,0 +1,55 @@
+"""repro.analysis — static analysis for the codebase *and* its models.
+
+Two halves behind one findings/baseline/reporting pipeline:
+
+* a **code linter** — an AST-walking engine with domain-specific rules
+  (lock discipline for the concurrent serving layer, RNG discipline for
+  seeded reproducibility, float-equality hygiene in solver/fitting
+  code, mutable default arguments, ``__all__`` drift), a committed
+  baseline so legacy findings don't block CI, and a
+  ``python -m repro.analysis`` CLI whose exit code gates the build;
+* a **model linter** — static validation of layered queuing models
+  (call-graph cycles, unreachable entries, non-positive demands and
+  multiplicities, reference-task sanity) run before any solve via
+  ``SolverOptions(lint_models=True)`` or a
+  :class:`~repro.service.service.PredictionService` admission preflight.
+
+Quick use::
+
+    from repro.analysis import AnalysisEngine, lint_model
+    findings = AnalysisEngine().analyze_paths(["src"])
+    model_findings = lint_model(model)   # LqnModel or serialized dict
+"""
+
+from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
+from repro.analysis.engine import AnalysisEngine, collect_python_files
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.model_lint import (
+    ModelLintError,
+    check_model,
+    lint_model,
+    model_preflight,
+)
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import Rule, SourceFile, all_rules, register, resolve_rules
+
+__all__ = [
+    "AnalysisEngine",
+    "Finding",
+    "Severity",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "register",
+    "resolve_rules",
+    "collect_python_files",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "render_text",
+    "render_json",
+    "lint_model",
+    "check_model",
+    "model_preflight",
+    "ModelLintError",
+]

@@ -1,0 +1,110 @@
+"""Baseline files: accepted legacy findings that must not block CI.
+
+A baseline is a committed JSON file mapping finding fingerprints (which
+are line-independent, see :meth:`repro.analysis.findings.Finding.fingerprint`)
+to an allowed *count*.  The CI gate then fails only on findings beyond
+the baseline — new defects block the build, grandfathered ones don't,
+and fixing a baselined finding never requires touching the baseline (a
+stale surplus entry is harmless; regenerate with ``--write-baseline``
+to shed it).
+
+Each entry also carries the rule, path and message it suppresses, so a
+reviewer can audit the debt being carried without running the tool.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.findings import Finding
+from repro.util.errors import ValidationError
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Allowed occurrence count per fingerprint from a baseline file.
+
+    Raises :class:`~repro.util.errors.ValidationError` when the file is
+    missing or malformed — a CI gate silently running without its
+    baseline would either block on legacy findings or mask the intent.
+    """
+    file_path = Path(path)
+    if not file_path.is_file():
+        raise ValidationError(
+            f"baseline file {file_path} not found; create one with "
+            "`python -m repro.analysis <paths> --baseline <file> --write-baseline`"
+        )
+    try:
+        data = json.loads(file_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as error:
+        raise ValidationError(f"baseline {file_path} is not valid JSON: {error}") from error
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValidationError(
+            f"baseline {file_path} has unsupported format "
+            f"(want version {BASELINE_VERSION})"
+        )
+    allowance: dict[str, int] = {}
+    for entry in data.get("entries", []):
+        fingerprint = entry.get("fingerprint")
+        count = entry.get("count", 1)
+        if not isinstance(fingerprint, str) or not isinstance(count, int) or count < 1:
+            raise ValidationError(f"baseline {file_path} has a malformed entry: {entry}")
+        allowance[fingerprint] = allowance.get(fingerprint, 0) + count
+    return allowance
+
+
+def write_baseline(findings: Sequence[Finding], path: str | Path) -> int:
+    """Write a baseline accepting exactly the given findings; returns count.
+
+    Entries are sorted and annotated (rule, path, message) so the file
+    diffs cleanly and reviews as documentation of accepted debt.
+    """
+    grouped: dict[str, dict[str, object]] = {}
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in grouped:
+            grouped[fp]["count"] = int(grouped[fp]["count"]) + 1  # type: ignore[call-overload]
+        else:
+            grouped[fp] = {
+                "fingerprint": fp,
+                "count": 1,
+                "rule_id": finding.rule_id,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "message": finding.message,
+            }
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro.analysis",
+        "entries": sorted(grouped.values(), key=lambda e: (e["path"], e["rule_id"], e["fingerprint"])),  # type: ignore[index]
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(findings)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], allowance: dict[str, int]
+) -> tuple[list[Finding], int]:
+    """Split findings into (new, suppressed-count) under a baseline.
+
+    The first ``allowance[fp]`` occurrences of each fingerprint are
+    suppressed; any surplus is new.  Order within a fingerprint follows
+    the engine's stable sort, so "the new one" is deterministic.
+    """
+    used: Counter[str] = Counter()
+    fresh: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        fp = finding.fingerprint()
+        if used[fp] < allowance.get(fp, 0):
+            used[fp] += 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

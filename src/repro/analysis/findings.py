@@ -1,0 +1,89 @@
+"""Findings: what every analyzer in :mod:`repro.analysis` reports.
+
+A :class:`Finding` is one diagnosed defect — a rule id, a severity, a
+``path:line`` anchor and a human-readable message.  Both halves of the
+framework (the AST code linter and the LQN model linter) speak in
+findings, so one baseline format, one reporter set and one CI gate
+cover them all.
+
+Fingerprints deliberately exclude the line number: a baseline entry
+keyed on ``(rule, path, symbol, message)`` survives unrelated edits
+that shift code up or down, which is what keeps a committed baseline
+from churning on every refactor.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are defects (races, broken exports, invalid
+    models); ``WARNING`` findings are hygiene debt.  The CI gate fails
+    on any *new* finding of either severity — the distinction matters to
+    the reader and to the solver wiring (which raises only on errors),
+    not to the gate.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One diagnosed defect, anchored to ``path:line``.
+
+    ``symbol`` names the offending definition (``Class.method``, an
+    entry name, an attribute) when the rule knows it; it sharpens both
+    the report and the baseline fingerprint.
+    """
+
+    rule_id: str
+    rule_name: str
+    severity: Severity
+    path: str
+    line: int
+    message: str
+    symbol: str = field(default="")
+
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline.
+
+        Two findings with the same rule, file, symbol and message share a
+        fingerprint; the baseline stores a *count* per fingerprint so a
+        file may carry several identical legacy findings.
+        """
+        raw = "|".join((self.rule_id, self.path, self.symbol, self.message))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:20]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible form (the JSON reporter's row format)."""
+        return {
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """The text reporter's one-line form."""
+        where = f"{self.path}:{self.line}"
+        subject = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.rule_id} {self.severity}:{subject} {self.message}"
+
+    def sort_key(self) -> tuple[str, int, str, str]:
+        """Stable ordering: by file, then line, then rule, then message."""
+        return (self.path, self.line, self.rule_id, self.message)

@@ -1,0 +1,521 @@
+"""Static linter for layered queuing models — validate before any solve.
+
+Solver math is rarely where an LQN reproduction goes wrong; model
+*well-formedness* is.  This linter inspects a model — either a built
+:class:`~repro.lqn.model.LqnModel` or the serialized dict form of
+:mod:`repro.lqn.serialization` (which, unlike the dataclasses, can
+represent malformed structures such as zero multiplicities) — and
+returns :class:`~repro.analysis.findings.Finding` objects instead of
+raising on first defect, so a whole model review arrives at once.
+
+Rules (errors gate a solve, warnings inform):
+
+==============  ======================  ========================================
+rule id         name                    catches
+==============  ======================  ========================================
+REPRO-LQN001    lqn-call-cycle          cycles in the inter-task call graph
+REPRO-LQN002    lqn-unreachable         tasks/entries no reference task reaches
+REPRO-LQN003    lqn-nonpositive-demand  negative demands; zero-work server entries
+REPRO-LQN004    lqn-nonpositive-size    multiplicities/speeds that are <= 0
+REPRO-LQN005    lqn-reference-sanity    missing/called/idle reference tasks,
+                                        think-time misuse
+REPRO-LQN006    lqn-dangling            unknown processors/call targets,
+                                        self-calls, duplicate entries
+==============  ======================  ========================================
+
+Wiring: :class:`~repro.lqn.solver.SolverOptions` ``lint_models=True``
+runs :func:`check_model` before every solve;
+:func:`model_preflight` adapts the linter into a
+:class:`~repro.service.service.PredictionService` admission hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.util.errors import ModelError
+
+__all__ = ["lint_model", "check_model", "model_preflight", "ModelLintError"]
+
+_PATH = "<lqn-model>"
+
+
+class ModelLintError(ModelError):
+    """A model failed pre-solve lint; carries the error findings."""
+
+    def __init__(self, findings: Sequence[Finding]):
+        self.findings = list(findings)
+        detail = "; ".join(f"{f.rule_id} [{f.symbol}]: {f.message}" for f in findings)
+        super().__init__(f"model failed pre-solve lint: {detail}")
+
+
+# -- normalized spec ----------------------------------------------------------
+
+
+@dataclass
+class _EntrySpec:
+    """Entry fields the linter cares about, source-form independent."""
+
+    name: str
+    demand_ms: float
+    phase2_demand_ms: float
+    calls: list[tuple[str, float, str]]  # (target, mean_calls, kind)
+
+
+@dataclass
+class _TaskSpec:
+    """Task fields the linter cares about, source-form independent."""
+
+    name: str
+    processor: str
+    multiplicity: float
+    is_reference: bool
+    think_time_ms: float
+    open_arrival_rate_per_s: float
+    entries: list[_EntrySpec] = field(default_factory=list)
+
+
+def _as_spec(model: Any) -> tuple[dict[str, dict[str, float]], list[_TaskSpec]]:
+    """Normalize an ``LqnModel`` or a serialization dict for linting."""
+    if isinstance(model, dict):
+        processors = {
+            str(p.get("name", "")): {
+                "multiplicity": float(p.get("multiplicity", 1)),
+                "speed": float(p.get("speed", 1.0)),
+            }
+            for p in model.get("processors", [])
+        }
+        tasks = [
+            _TaskSpec(
+                name=str(t.get("name", "")),
+                processor=str(t.get("processor", "")),
+                multiplicity=float(t.get("multiplicity", 1)),
+                is_reference=bool(t.get("is_reference", False)),
+                think_time_ms=float(t.get("think_time_ms", 0.0)),
+                open_arrival_rate_per_s=float(t.get("open_arrival_rate_per_s", 0.0)),
+                entries=[
+                    _EntrySpec(
+                        name=str(e.get("name", "")),
+                        demand_ms=float(e.get("demand_ms", 0.0)),
+                        phase2_demand_ms=float(e.get("phase2_demand_ms", 0.0)),
+                        calls=[
+                            (
+                                str(c.get("target", c.get("target_entry", ""))),
+                                float(c.get("mean_calls", 0.0)),
+                                str(c.get("kind", "sync")),
+                            )
+                            for c in e.get("calls", [])
+                        ],
+                    )
+                    for e in t.get("entries", [])
+                ],
+            )
+            for t in model.get("tasks", [])
+        ]
+        return processors, tasks
+
+    processors = {
+        p.name: {"multiplicity": float(p.multiplicity), "speed": float(p.speed)}
+        for p in model.processors.values()
+    }
+    tasks = [
+        _TaskSpec(
+            name=t.name,
+            processor=t.processor,
+            multiplicity=float(t.multiplicity),
+            is_reference=t.is_reference,
+            think_time_ms=float(t.think_time_ms),
+            open_arrival_rate_per_s=float(t.open_arrival_rate_per_s),
+            entries=[
+                _EntrySpec(
+                    name=e.name,
+                    demand_ms=float(e.demand_ms),
+                    phase2_demand_ms=float(e.phase2_demand_ms),
+                    calls=[(c.target_entry, float(c.mean_calls), c.kind.value) for c in e.calls],
+                )
+                for e in t.entries
+            ],
+        )
+        for t in model.tasks.values()
+    ]
+    return processors, tasks
+
+
+def _finding(rule_id: str, name: str, severity: Severity, symbol: str, message: str) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        rule_name=name,
+        severity=severity,
+        path=_PATH,
+        line=0,
+        message=message,
+        symbol=symbol,
+    )
+
+
+# -- the linter ---------------------------------------------------------------
+
+
+def lint_model(model: Any) -> list[Finding]:
+    """Every structural defect of ``model``, as findings (never raises).
+
+    ``model`` may be a built :class:`~repro.lqn.model.LqnModel` or the
+    JSON-compatible dict of :func:`repro.lqn.serialization.model_to_dict`.
+    """
+    processors, tasks = _as_spec(model)
+    findings: list[Finding] = []
+
+    owner: dict[str, _TaskSpec] = {}
+    for task in tasks:
+        for entry in task.entries:
+            if entry.name in owner:
+                findings.append(
+                    _finding(
+                        "REPRO-LQN006",
+                        "lqn-dangling",
+                        Severity.ERROR,
+                        entry.name,
+                        f"entry '{entry.name}' is offered by both "
+                        f"'{owner[entry.name].name}' and '{task.name}'",
+                    )
+                )
+            else:
+                owner[entry.name] = task
+
+    # -- sizes (REPRO-LQN004) -------------------------------------------------
+    for name, proc in processors.items():
+        if proc["multiplicity"] <= 0:
+            findings.append(
+                _finding(
+                    "REPRO-LQN004",
+                    "lqn-nonpositive-size",
+                    Severity.ERROR,
+                    name,
+                    f"processor '{name}' has non-positive multiplicity "
+                    f"{proc['multiplicity']:g}",
+                )
+            )
+        if proc["speed"] <= 0:
+            findings.append(
+                _finding(
+                    "REPRO-LQN004",
+                    "lqn-nonpositive-size",
+                    Severity.ERROR,
+                    name,
+                    f"processor '{name}' has non-positive speed {proc['speed']:g}",
+                )
+            )
+    for task in tasks:
+        if task.multiplicity <= 0:
+            findings.append(
+                _finding(
+                    "REPRO-LQN004",
+                    "lqn-nonpositive-size",
+                    Severity.ERROR,
+                    task.name,
+                    f"task '{task.name}' has non-positive multiplicity "
+                    f"{task.multiplicity:g} (a zero-thread server can serve "
+                    "nothing)",
+                )
+            )
+
+    # -- demands (REPRO-LQN003) ----------------------------------------------
+    for task in tasks:
+        for entry in task.entries:
+            if entry.demand_ms < 0:
+                findings.append(
+                    _finding(
+                        "REPRO-LQN003",
+                        "lqn-nonpositive-demand",
+                        Severity.ERROR,
+                        entry.name,
+                        f"entry '{entry.name}' has negative demand "
+                        f"{entry.demand_ms:g} ms",
+                    )
+                )
+            if entry.phase2_demand_ms < 0:
+                findings.append(
+                    _finding(
+                        "REPRO-LQN003",
+                        "lqn-nonpositive-demand",
+                        Severity.ERROR,
+                        entry.name,
+                        f"entry '{entry.name}' has negative second-phase demand "
+                        f"{entry.phase2_demand_ms:g} ms",
+                    )
+                )
+            if (
+                not task.is_reference
+                and entry.demand_ms == 0
+                and entry.phase2_demand_ms == 0
+                and not entry.calls
+            ):
+                findings.append(
+                    _finding(
+                        "REPRO-LQN003",
+                        "lqn-nonpositive-demand",
+                        Severity.WARNING,
+                        entry.name,
+                        f"server entry '{entry.name}' has zero demand and no "
+                        "calls: it does no work (suspicious calibration?)",
+                    )
+                )
+            for target, mean_calls, _kind in entry.calls:
+                if mean_calls < 0:
+                    findings.append(
+                        _finding(
+                            "REPRO-LQN003",
+                            "lqn-nonpositive-demand",
+                            Severity.ERROR,
+                            entry.name,
+                            f"entry '{entry.name}' calls '{target}' a negative "
+                            f"mean {mean_calls:g} times",
+                        )
+                    )
+
+    # -- dangling structure (REPRO-LQN006) ------------------------------------
+    for task in tasks:
+        if task.processor not in processors:
+            findings.append(
+                _finding(
+                    "REPRO-LQN006",
+                    "lqn-dangling",
+                    Severity.ERROR,
+                    task.name,
+                    f"task '{task.name}' runs on unknown processor "
+                    f"'{task.processor}'",
+                )
+            )
+        for entry in task.entries:
+            for target, _mean, _kind in entry.calls:
+                target_task = owner.get(target)
+                if target_task is None:
+                    findings.append(
+                        _finding(
+                            "REPRO-LQN006",
+                            "lqn-dangling",
+                            Severity.ERROR,
+                            entry.name,
+                            f"entry '{entry.name}' calls unknown entry '{target}'",
+                        )
+                    )
+                elif target_task.name == task.name:
+                    findings.append(
+                        _finding(
+                            "REPRO-LQN006",
+                            "lqn-dangling",
+                            Severity.ERROR,
+                            entry.name,
+                            f"entry '{entry.name}' calls entry '{target}' of its "
+                            f"own task '{task.name}' (would deadlock its own "
+                            "thread pool)",
+                        )
+                    )
+
+    # -- reference sanity (REPRO-LQN005) --------------------------------------
+    references = [t for t in tasks if t.is_reference]
+    if tasks and not references:
+        findings.append(
+            _finding(
+                "REPRO-LQN005",
+                "lqn-reference-sanity",
+                Severity.ERROR,
+                "<model>",
+                "model has no reference task: nothing drives the workload",
+            )
+        )
+    for task in tasks:
+        if task.is_reference:
+            drives = any(entry.calls for entry in task.entries)
+            if not drives:
+                findings.append(
+                    _finding(
+                        "REPRO-LQN005",
+                        "lqn-reference-sanity",
+                        Severity.ERROR,
+                        task.name,
+                        f"reference task '{task.name}' makes no calls: its "
+                        "clients request nothing",
+                    )
+                )
+            if task.think_time_ms < 0:
+                findings.append(
+                    _finding(
+                        "REPRO-LQN005",
+                        "lqn-reference-sanity",
+                        Severity.ERROR,
+                        task.name,
+                        f"reference task '{task.name}' has negative think time "
+                        f"{task.think_time_ms:g} ms",
+                    )
+                )
+            elif (
+                task.think_time_ms == 0
+                and task.open_arrival_rate_per_s <= 0
+                and drives
+            ):
+                findings.append(
+                    _finding(
+                        "REPRO-LQN005",
+                        "lqn-reference-sanity",
+                        Severity.WARNING,
+                        task.name,
+                        f"closed reference task '{task.name}' has zero think "
+                        "time: clients re-request instantly, which saturates "
+                        "every station (intended?)",
+                    )
+                )
+        else:
+            if task.think_time_ms > 0:
+                findings.append(
+                    _finding(
+                        "REPRO-LQN005",
+                        "lqn-reference-sanity",
+                        Severity.ERROR,
+                        task.name,
+                        f"non-reference task '{task.name}' has a think time "
+                        f"({task.think_time_ms:g} ms); only client populations "
+                        "think",
+                    )
+                )
+            if task.open_arrival_rate_per_s > 0:
+                findings.append(
+                    _finding(
+                        "REPRO-LQN005",
+                        "lqn-reference-sanity",
+                        Severity.ERROR,
+                        task.name,
+                        f"non-reference task '{task.name}' has an open arrival "
+                        "rate; only reference tasks are workload sources",
+                    )
+                )
+        for entry in task.entries:
+            for target, _mean, _kind in entry.calls:
+                target_task = owner.get(target)
+                if target_task is not None and target_task.is_reference:
+                    findings.append(
+                        _finding(
+                            "REPRO-LQN005",
+                            "lqn-reference-sanity",
+                            Severity.ERROR,
+                            entry.name,
+                            f"entry '{entry.name}' calls entry '{target}' of "
+                            f"reference task '{target_task.name}': client "
+                            "populations serve nothing",
+                        )
+                    )
+
+    # -- call cycles (REPRO-LQN001) -------------------------------------------
+    graph: dict[str, set[str]] = {t.name: set() for t in tasks}
+    for task in tasks:
+        for entry in task.entries:
+            for target, _mean, _kind in entry.calls:
+                target_task = owner.get(target)
+                if target_task is not None and target_task.name != task.name:
+                    graph[task.name].add(target_task.name)
+
+    colour: dict[str, int] = {}  # 0 unvisited / 1 in progress / 2 done
+    cycles: list[list[str]] = []
+
+    def visit(name: str, stack: list[str]) -> None:
+        state = colour.get(name, 0)
+        if state == 1:
+            start = stack.index(name)
+            cycles.append(stack[start:] + [name])
+            return
+        if state == 2:
+            return
+        colour[name] = 1
+        for successor in sorted(graph.get(name, ())):
+            visit(successor, stack + [name])
+        colour[name] = 2
+
+    for name in sorted(graph):
+        visit(name, [])
+    for cycle in cycles:
+        findings.append(
+            _finding(
+                "REPRO-LQN001",
+                "lqn-call-cycle",
+                Severity.ERROR,
+                cycle[0],
+                "call cycle between tasks: " + " -> ".join(cycle) + " (the "
+                "layered solution strategy requires a DAG)",
+            )
+        )
+
+    # -- reachability (REPRO-LQN002) ------------------------------------------
+    called_entries: set[str] = set()
+    reached: set[str] = {t.name for t in references}
+    frontier = [t for t in references]
+    while frontier:
+        task = frontier.pop()
+        for entry in task.entries:
+            for target, _mean, _kind in entry.calls:
+                called_entries.add(target)
+                target_task = owner.get(target)
+                if target_task is not None and target_task.name not in reached:
+                    reached.add(target_task.name)
+                    frontier.append(target_task)
+    if references:
+        for task in tasks:
+            if task.name not in reached:
+                findings.append(
+                    _finding(
+                        "REPRO-LQN002",
+                        "lqn-unreachable",
+                        Severity.ERROR,
+                        task.name,
+                        f"task '{task.name}' is unreachable from every "
+                        "reference task: no load ever arrives",
+                    )
+                )
+            elif not task.is_reference:
+                for entry in task.entries:
+                    if entry.name not in called_entries:
+                        findings.append(
+                            _finding(
+                                "REPRO-LQN002",
+                                "lqn-unreachable",
+                                Severity.WARNING,
+                                entry.name,
+                                f"entry '{entry.name}' of task '{task.name}' is "
+                                "never called: dead service definition",
+                            )
+                        )
+
+    findings.sort(key=lambda f: (f.rule_id, f.symbol, f.message))
+    return findings
+
+
+def check_model(model: Any) -> list[Finding]:
+    """Lint ``model`` and raise :class:`ModelLintError` on any error.
+
+    Returns the warning-level findings for optional reporting — the
+    solver's pre-solve hook ignores them, a calibration review might not.
+    """
+    findings = lint_model(model)
+    errors = [f for f in findings if f.severity is Severity.ERROR]
+    if errors:
+        raise ModelLintError(errors)
+    return [f for f in findings if f.severity is not Severity.ERROR]
+
+
+def model_preflight(
+    build_model: Callable[[str, str, float, float], Any],
+) -> Callable[[str, str, float, float], None]:
+    """Adapt the linter into a ``PredictionService`` admission hook.
+
+    ``build_model(kind, server, operand, buy_fraction)`` returns the
+    model the primary predictor would solve for that request; the
+    returned callable lints it and raises :class:`ModelLintError` so the
+    service rejects the request before it ever reaches the worker pool.
+    """
+
+    def preflight(kind: str, server: str, operand: float, buy_fraction: float) -> None:
+        """Reject the request when its model fails lint (raises)."""
+        check_model(build_model(kind, server, operand, buy_fraction))
+
+    return preflight

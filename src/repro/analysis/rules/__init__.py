@@ -1,0 +1,30 @@
+"""The code-lint rule set; importing this package registers every rule.
+
+Current rules (one module each):
+
+==============  ====================  =====================================
+rule id         name                  defect class
+==============  ====================  =====================================
+REPRO-LOCK001   lock-discipline       lock-guarded state accessed bare
+REPRO-RNG001    rng-discipline        unseeded module-level RNG use
+REPRO-FLT001    float-equality        exact float == in tolerance code
+REPRO-MUT001    mutable-default-args  shared mutable default arguments
+REPRO-API001    public-api            __all__ drift vs. defined names
+==============  ====================  =====================================
+
+To add a rule: new module here, subclass
+:class:`~repro.analysis.rules.base.Rule`, decorate with
+:func:`~repro.analysis.rules.base.register`, import it below, and add
+positive/negative fixtures under ``tests/analysis_fixtures/``.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (imports register the rules)
+    float_equality,
+    lock_discipline,
+    mutable_defaults,
+    public_api,
+    rng_discipline,
+)
+from repro.analysis.rules.base import Rule, SourceFile, all_rules, register, resolve_rules
+
+__all__ = ["Rule", "SourceFile", "all_rules", "register", "resolve_rules"]

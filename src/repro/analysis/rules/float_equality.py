@@ -1,0 +1,93 @@
+"""REPRO-FLT001 — float-equality: no ``==``/``!=`` on floats where tolerances rule.
+
+Solver iteration, least-squares fitting and piecewise-model handover all
+live and die by tolerances; an exact float comparison in those modules
+is either a latent bug (a residual that is ``1e-17`` instead of ``0.0``
+takes the wrong branch) or an undocumented sentinel that should be an
+inequality or an explicit tolerance check
+(:func:`repro.util.floats.is_negligible` /
+:func:`repro.util.floats.floats_equal`).
+
+The rule patrols tolerance-sensitive modules only (solver/fitting/
+model/calibration paths) and flags ``==`` / ``!=`` comparisons in which
+either operand is a float literal.  Test modules (``test_*.py``) are
+exempt: exact-value regression assertions on deterministic, seeded
+outputs are the repo's testing idiom, not a defect.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Severity
+from repro.analysis.rules.base import Rule, SourceFile, register
+
+__all__ = ["FloatEqualityRule"]
+
+# Path fragments naming the tolerance-sensitive parts of the codebase.
+_SCOPE_MARKERS = (
+    "lqn",
+    "historical",
+    "hybrid",
+    "prediction",
+    "distribution",
+    "solver",
+    "fitting",
+    "mva",
+    "calibration",
+    "tolerance",
+)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    """Whether ``node`` is a float constant (unary minus included)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Flag exact float (in)equality in tolerance-sensitive modules."""
+
+    rule_id = "REPRO-FLT001"
+    name = "float-equality"
+    severity = Severity.WARNING
+    description = (
+        "== / != against a float literal in a solver/fitting module; use an "
+        "inequality or repro.util.floats tolerance helpers"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        """Tolerance-sensitive modules only; test files are exempt."""
+        normalized = path.replace("\\", "/")
+        if "test_" in normalized:
+            return False
+        return any(marker in normalized for marker in _SCOPE_MARKERS)
+
+    def check(self, sf: SourceFile) -> Iterator:
+        """Flag each Eq/NotEq leg whose operand is a float literal."""
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                literal = next(
+                    (n for n in (left, right) if _is_float_literal(n)), None
+                )
+                if literal is None:
+                    continue
+                rendered = ast.unparse(literal)
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    sf,
+                    node,
+                    f"exact float comparison '{symbol} {rendered}' in a "
+                    "tolerance-sensitive module; use an inequality or "
+                    "repro.util.floats helpers",
+                    symbol=symbol,
+                )

@@ -1,0 +1,86 @@
+"""REPRO-MUT001 — mutable-default-args: no shared-state default arguments.
+
+A ``def f(x, into=[])`` default is evaluated once at definition time and
+shared by every call — state leaks across calls (and, in this codebase,
+across *experiment replications*, corrupting the common-random-numbers
+comparisons the experiments rely on).  The rule flags positional and
+keyword-only defaults that are:
+
+* list / dict / set literals or comprehensions;
+* direct calls to the ``list`` / ``dict`` / ``set`` builtins.
+
+The fix is the standard ``None`` sentinel, or a frozen/immutable value.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Severity
+from repro.analysis.rules.base import Rule, SourceFile, register
+
+__all__ = ["MutableDefaultArgsRule"]
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_BUILTINS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    """Whether a default expression produces a shared mutable object."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_BUILTINS
+    )
+
+
+@register
+class MutableDefaultArgsRule(Rule):
+    """Flag mutable default argument values on any function or method."""
+
+    rule_id = "REPRO-MUT001"
+    name = "mutable-default-args"
+    severity = Severity.WARNING
+    description = (
+        "default argument evaluates to a shared mutable object; use a None "
+        "sentinel instead"
+    )
+
+    def check(self, sf: SourceFile) -> Iterator:
+        """Inspect the defaults of every (async) function definition."""
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            positional = [*args.posonlyargs, *args.args]
+            offset = len(positional) - len(args.defaults)
+            pairs = [
+                (positional[offset + i], default)
+                for i, default in enumerate(args.defaults)
+            ]
+            pairs += [
+                (arg, default)
+                for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+                if default is not None
+            ]
+            name = getattr(node, "name", "<lambda>")
+            for arg, default in pairs:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        sf,
+                        default,
+                        f"parameter '{arg.arg}' defaults to a mutable "
+                        f"'{ast.unparse(default)}' shared across calls; use "
+                        "None and construct inside the body",
+                        symbol=name,
+                    )

@@ -1,0 +1,141 @@
+"""REPRO-API001 — public-api: ``__all__`` and the defined surface agree.
+
+Two drift directions, two severities:
+
+* a name listed in ``__all__`` that the module never defines is a broken
+  export — ``from module import *`` raises and API docs lie (**error**);
+* a public top-level class or function missing from an existing
+  ``__all__`` is silent API drift: it escapes ``import *``, the
+  docstring-coverage gate (which walks ``__all__``) and the package docs
+  (**warning**).
+
+Modules that do not declare ``__all__`` are skipped — the rule enforces
+consistency where a contract exists, it does not impose one.  Names
+bound by imports count as definitions (re-export modules are a
+supported pattern), and a ``from x import *`` disables the
+undefined-export half, which cannot be decided statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Severity
+from repro.analysis.rules.base import Rule, SourceFile, register
+
+__all__ = ["PublicApiRule"]
+
+
+def _collect_definitions(body: list[ast.stmt], defined: set[str]) -> bool:
+    """Names bound at module top level; returns True if ``import *`` seen.
+
+    Recurses through ``if``/``try``/``with`` so conditionally-defined
+    names (version guards, optional dependencies) count.
+    """
+    star = False
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        defined.add(node.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            defined.add(stmt.target.id)
+        elif isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                defined.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    star = True
+                else:
+                    defined.add(alias.asname or alias.name)
+        elif isinstance(stmt, ast.If):
+            star |= _collect_definitions(stmt.body, defined)
+            star |= _collect_definitions(stmt.orelse, defined)
+        elif isinstance(stmt, ast.Try):
+            star |= _collect_definitions(stmt.body, defined)
+            for handler in stmt.handlers:
+                star |= _collect_definitions(handler.body, defined)
+            star |= _collect_definitions(stmt.orelse, defined)
+            star |= _collect_definitions(stmt.finalbody, defined)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            star |= _collect_definitions(stmt.body, defined)
+    return star
+
+
+def _declared_all(tree: ast.Module) -> tuple[ast.stmt, list[str] | None] | None:
+    """The ``__all__`` assignment node and its string entries.
+
+    ``None`` entries mean ``__all__`` is built dynamically — present, but
+    not statically checkable, so the rule stands down.
+    """
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            continue
+        value = stmt.value
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(e, ast.Constant) and isinstance(e.value, str) for e in value.elts
+        ):
+            return stmt, [e.value for e in value.elts]
+        return stmt, None  # dynamic __all__: only existence is known
+    return None
+
+
+@register
+class PublicApiRule(Rule):
+    """Flag drift between ``__all__`` and the module's defined names."""
+
+    rule_id = "REPRO-API001"
+    name = "public-api"
+    severity = Severity.WARNING
+    description = (
+        "__all__ drift: exports that are never defined (error) or public "
+        "definitions missing from __all__ (warning)"
+    )
+
+    def check(self, sf: SourceFile) -> Iterator:
+        """Compare the declared export list against the bound names."""
+        declared = _declared_all(sf.tree)
+        if declared is None:
+            return
+        all_node, exported = declared
+        if exported is None:
+            return  # dynamically-built __all__: not statically checkable
+        defined: set[str] = set()
+        has_star_import = _collect_definitions(sf.tree.body, defined)
+
+        if not has_star_import:
+            for name in exported:
+                if name not in defined:
+                    yield self.finding(
+                        sf,
+                        all_node,
+                        f"'{name}' is listed in __all__ but never defined in "
+                        "the module",
+                        symbol=name,
+                        severity=Severity.ERROR,
+                    )
+
+        exported_set = set(exported)
+        for stmt in sf.tree.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if stmt.name.startswith("_") or stmt.name in exported_set:
+                continue
+            kind = "class" if isinstance(stmt, ast.ClassDef) else "function"
+            yield self.finding(
+                sf,
+                stmt,
+                f"public {kind} '{stmt.name}' is missing from __all__ "
+                "(invisible to import * and the API docs)",
+                symbol=stmt.name,
+            )

@@ -34,6 +34,7 @@ from repro.workload.service_class import ServiceClass
 
 __all__ = [
     "CacheFixedPointResult",
+    "CircularityReport",
     "demonstrate_lqn_circularity",
     "solve_lqn_with_cache",
 ]

@@ -25,7 +25,7 @@ from repro.experiments.rm_common import (
 from repro.experiments.scenario import ExperimentResult
 from repro.util.tables import format_kv, format_series
 
-__all__ = ["run"]
+__all__ = ["run", "run_cost_analysis"]
 
 
 def run(fast: bool = False) -> ExperimentResult:

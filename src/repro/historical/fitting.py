@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.util.errors import CalibrationError
+from repro.util.floats import is_negligible
 
 __all__ = [
     "FitResult",
@@ -56,8 +57,8 @@ def _as_arrays(x, y, minimum: int) -> tuple[np.ndarray, np.ndarray]:
 def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
     ss_res = float(np.sum((y - predicted) ** 2))
     ss_tot = float(np.sum((y - y.mean()) ** 2))
-    if ss_tot == 0.0:
-        return 1.0 if ss_res == 0.0 else 0.0
+    if is_negligible(ss_tot):
+        return 1.0 if is_negligible(ss_res) else 0.0
     return 1.0 - ss_res / ss_tot
 
 
@@ -85,7 +86,7 @@ def fit_linear_through_origin(x, y) -> FitResult:
     """
     xa, ya = _as_arrays(x, y, 1)
     denom = float(np.dot(xa, xa))
-    if denom == 0.0:
+    if is_negligible(denom):
         raise CalibrationError("cannot fit through origin with all-zero x")
     slope = float(np.dot(xa, ya) / denom)
     return FitResult(

@@ -15,6 +15,7 @@ section 4 of the paper:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.historical.datastore import HistoricalDataPoint, HistoricalDataStore
@@ -27,6 +28,7 @@ from repro.historical.relationships import (
 from repro.historical.scaling import MaxThroughputScaling, ServerCalibration
 from repro.historical.throughput import ThroughputModel
 from repro.util.errors import CalibrationError
+from repro.util.floats import is_negligible
 from repro.util.validation import check_fraction, check_positive
 
 __all__ = ["HistoricalModel"]
@@ -89,6 +91,11 @@ class HistoricalModel:
     # buy fraction); the resource manager probes them thousands of times.
     _mix_cache: dict[tuple[str, float], PiecewiseResponseModel] = field(
         default_factory=dict, repr=False
+    )
+    # Guards predictions_made and _mix_cache: the prediction service calls
+    # one shared model from its worker pool.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
     )
 
     # -- calibration -----------------------------------------------------------
@@ -218,8 +225,9 @@ class HistoricalModel:
         figure 4 procedure).
         """
         check_fraction(buy_fraction, "buy_fraction")
-        self.predictions_made += 1
-        if buy_fraction == 0.0:
+        with self._lock:
+            self.predictions_made += 1
+        if is_negligible(buy_fraction):
             return self._model_for(server).predict_ms(n_clients)
         return self._mix_adjusted_model(server, buy_fraction).predict_ms(n_clients)
 
@@ -229,8 +237,9 @@ class HistoricalModel:
         """Predicted throughput (req/s): linear ramp capped at (mix-adjusted)
         max throughput."""
         check_fraction(buy_fraction, "buy_fraction")
-        self.predictions_made += 1
-        if buy_fraction == 0.0:
+        with self._lock:
+            self.predictions_made += 1
+        if is_negligible(buy_fraction):
             return self.throughput_model.predict_throughput(server, n_clients)
         mx = self._mix_max_throughput(server, buy_fraction)
         return float(min(self.throughput_model.gradient * n_clients, mx))
@@ -240,8 +249,9 @@ class HistoricalModel:
     ) -> int:
         """Closed-form capacity: most clients meeting an SLA goal."""
         check_fraction(buy_fraction, "buy_fraction")
-        self.predictions_made += 1
-        if buy_fraction == 0.0:
+        with self._lock:
+            self.predictions_made += 1
+        if is_negligible(buy_fraction):
             return self._model_for(server).max_clients(mrt_goal_ms)
         return self._mix_adjusted_model(server, buy_fraction).max_clients(mrt_goal_ms)
 
@@ -283,7 +293,8 @@ class HistoricalModel:
                 "heterogeneous-workload predictions require relationship 2"
             )
         key = (server, round(buy_fraction, 5))
-        cached = self._mix_cache.get(key)
+        with self._lock:
+            cached = self._mix_cache.get(key)
         if cached is not None:
             return cached
         mx_b = self._mix_max_throughput(server, buy_fraction)
@@ -293,6 +304,7 @@ class HistoricalModel:
         model = PiecewiseResponseModel.assemble(
             f"{server}@buy={buy_fraction:.3f}", lower, upper, n_at_max
         )
-        if len(self._mix_cache) < 100_000:
-            self._mix_cache[key] = model
+        with self._lock:
+            if len(self._mix_cache) < 100_000:
+                self._mix_cache[key] = model
         return model

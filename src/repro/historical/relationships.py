@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from repro.historical.datastore import HistoricalDataPoint
 from repro.historical.fitting import fit_exponential, fit_linear
 from repro.util.errors import CalibrationError
+from repro.util.floats import is_negligible
 from repro.util.validation import check_positive, require
 
 __all__ = [
@@ -66,7 +67,7 @@ class LowerEquation:
     def invert(self, mrt_ms: float) -> float:
         """Client count at which the equation reaches ``mrt_ms``."""
         check_positive(mrt_ms, "mrt_ms")
-        if self.lambda_l == 0.0:
+        if is_negligible(self.lambda_l):
             return math.inf if mrt_ms >= self.c_l else 0.0
         return math.log(mrt_ms / self.c_l) / self.lambda_l
 
@@ -97,7 +98,7 @@ class UpperEquation:
 
     def invert(self, mrt_ms: float) -> float:
         """Client count at which the equation reaches ``mrt_ms``."""
-        if self.lambda_u == 0.0:
+        if is_negligible(self.lambda_u):
             return math.inf if mrt_ms >= self.c_u else 0.0
         return (mrt_ms - self.c_u) / self.lambda_u
 
@@ -139,7 +140,7 @@ class TransitionRelationship:
     def invert(self, mrt_ms: float) -> float:
         """Client count at which the transition reaches ``mrt_ms``."""
         check_positive(mrt_ms, "mrt_ms")
-        if self.b == 0.0:
+        if is_negligible(self.b):
             return math.inf if mrt_ms >= self.a else 0.0
         return math.log(mrt_ms / self.a) / self.b
 

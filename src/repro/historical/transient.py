@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.historical.fitting import fit_exponential
 from repro.util.errors import CalibrationError
+from repro.util.floats import is_negligible
 from repro.util.validation import check_fraction, check_positive
 
 __all__ = ["bucketed_response_curve", "TransientModel"]
@@ -112,7 +113,7 @@ class TransientModel:
 
     def predict_ms(self, t_since_start_ms: float) -> float:
         """Mean response time at warm-up age ``t`` (ms)."""
-        if self.amplitude_ms == 0.0:
+        if is_negligible(self.amplitude_ms):
             return self.steady_state_ms
         return self.steady_state_ms + self.amplitude_ms * math.exp(
             -t_since_start_ms / self.tau_ms
@@ -125,7 +126,7 @@ class TransientModel:
         server are its measurements representative?
         """
         check_fraction(tolerance, "tolerance")
-        if self.amplitude_ms == 0.0:
+        if is_negligible(self.amplitude_ms):
             return 0.0
         threshold = tolerance * self.steady_state_ms
         if abs(self.amplitude_ms) <= threshold:

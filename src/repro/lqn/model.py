@@ -141,11 +141,11 @@ class Task:
         require(len(self.entries) > 0, f"task {self.name!r} must offer at least one entry")
         if not self.is_reference:
             require(
-                self.think_time_ms == 0.0,
+                self.think_time_ms <= 0.0,
                 f"non-reference task {self.name!r} cannot have a think time",
             )
             require(
-                self.open_arrival_rate_per_s == 0.0,
+                self.open_arrival_rate_per_s <= 0.0,
                 f"non-reference task {self.name!r} cannot be an open source",
             )
 

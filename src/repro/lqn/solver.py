@@ -30,6 +30,7 @@ invert under a loose criterion — this solver reproduces that behaviour).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -52,12 +53,20 @@ class SolverOptions:
     iteration stops once successive per-class response-time estimates differ
     by less than this (and queue lengths by less than ``queue_tol``).
     Tightening it increases solve time — the trade-off section 4.2 discusses.
+
+    ``lint_models`` runs :func:`repro.analysis.check_model` over every model
+    before solving: structural defects (call cycles, unreachable entries,
+    non-positive demands) surface as a
+    :class:`~repro.analysis.model_lint.ModelLintError` listing every
+    finding, instead of one-at-a-time validation errors or a hung
+    iteration.
     """
 
     convergence_criterion_ms: float = 1.0
     queue_tol: float = 1e-6
     max_iterations: int = 200_000
     damping: float = 0.5
+    lint_models: bool = False
 
     def __post_init__(self) -> None:
         check_positive(self.convergence_criterion_ms, "convergence_criterion_ms")
@@ -71,12 +80,20 @@ class LqnSolver:
     def __init__(self, options: SolverOptions | None = None):
         self.options = options if options is not None else SolverOptions()
         self.solve_count = 0  # predictions evaluated, for delay accounting
+        # One solver is shared across prediction-service worker threads.
+        self._lock = threading.Lock()
 
     # -- public API -----------------------------------------------------------
 
     def solve(self, model: LqnModel) -> LqnSolution:
         """Solve ``model`` and return steady-state predictions."""
         start = time.perf_counter()
+        if self.options.lint_models:
+            # Lazy import: repro.analysis imports this module's SolverOptions
+            # consumers; importing at module scope would cycle.
+            from repro.analysis.model_lint import check_model
+
+            check_model(model)
         model.validate()
         classes = model.reference_tasks()
         if not classes:
@@ -87,7 +104,8 @@ class LqnSolver:
         solution = self._iterate(inp)
 
         elapsed = time.perf_counter() - start
-        self.solve_count += 1
+        with self._lock:
+            self.solve_count += 1
         return self._package(
             model, classes, vis, hid, inp, solution, station_names, task_station_index, elapsed
         )

@@ -70,6 +70,9 @@ class PredictionService:
       LQN solves cost one solve);
     * bounded admission, per-request deadlines, transient-error retries
       and graceful degradation to a fast ``fallback`` predictor;
+    * an optional ``preflight`` admission hook (see
+      :func:`repro.analysis.model_preflight`) rejecting requests whose
+      models fail static lint before they reach the pool;
     * a metrics registry exporting hit rates, p50/p95/p99 latencies and
       degradation counts.
 
@@ -85,9 +88,15 @@ class PredictionService:
         fallback: Predictor | None = None,
         config: ServiceConfig | None = None,
         name: str | None = None,
+        preflight: Callable[[str, str, float, float], None] | None = None,
     ):
         self.primary = primary
         self.fallback = fallback
+        # Admission hook called as preflight(kind, server, operand,
+        # buy_fraction) on every cache miss; raising rejects the request
+        # before it reaches the pool.  repro.analysis.model_preflight
+        # adapts the LQN model linter into this shape.
+        self.preflight = preflight
         self.config = config or ServiceConfig()
         self.name = name if name is not None else f"service({primary.name})"
         self.timer = PredictionTimer(
@@ -254,6 +263,13 @@ class PredictionService:
             hit, value = self.cache.get(key)
             if hit:
                 return value
+
+            if self.preflight is not None:
+                try:
+                    self.preflight(kind, server, operand, buy_fraction)
+                except Exception:
+                    self.metrics.counter("preflight.rejected").inc()
+                    raise
 
             if not self.admission.try_enter():
                 return self._degrade(

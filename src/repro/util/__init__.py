@@ -8,6 +8,7 @@ from repro.util.errors import (
     SimulationError,
     ValidationError,
 )
+from repro.util.floats import DEFAULT_ABS_TOL, floats_equal, is_negligible
 from repro.util.rng import RngStreams, spawn_rng
 from repro.util.units import (
     MS_PER_S,
@@ -26,6 +27,9 @@ __all__ = [
     "ValidationError",
     "RngStreams",
     "spawn_rng",
+    "DEFAULT_ABS_TOL",
+    "floats_equal",
+    "is_negligible",
     "MS_PER_S",
     "ms_to_s",
     "s_to_ms",

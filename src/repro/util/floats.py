@@ -1,0 +1,41 @@
+"""Tolerance-aware float comparisons for solver and fitting code.
+
+Exact ``==``/``!=`` on floats is almost always wrong in the numerical
+parts of this codebase: residuals that are mathematically zero come back
+as ``1e-17`` after a least-squares solve, and a branch keyed on
+``x == 0.0`` silently takes the wrong arm.  These helpers make the
+intent — "is this quantity negligible?" / "are these two values the
+same up to noise?" — explicit, and give the REPRO-FLT001 lint rule a
+sanctioned replacement to point at.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["DEFAULT_ABS_TOL", "floats_equal", "is_negligible"]
+
+# Far below any physically meaningful demand, rate or residual in the
+# models (which live around 1e-3 .. 1e3), far above float64 rounding
+# noise from a handful of arithmetic ops.
+DEFAULT_ABS_TOL = 1e-12
+
+
+def is_negligible(x: float, *, tol: float = DEFAULT_ABS_TOL) -> bool:
+    """Whether ``x`` is zero up to absolute tolerance ``tol``.
+
+    The replacement for ``x == 0.0`` degenerate-case guards: a sum of
+    squared residuals of ``1e-17`` is "zero" for every decision this
+    codebase makes on it.
+    """
+    return abs(x) <= tol
+
+
+def floats_equal(a: float, b: float, *, rel_tol: float = 1e-9, abs_tol: float = DEFAULT_ABS_TOL) -> bool:
+    """Whether ``a`` and ``b`` agree up to relative/absolute tolerance.
+
+    Thin wrapper over :func:`math.isclose` with an absolute floor, so
+    comparisons near zero behave (plain ``isclose`` has ``abs_tol=0``
+    and calls nothing close to ``0.0``).
+    """
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)

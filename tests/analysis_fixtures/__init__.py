@@ -1,0 +1,8 @@
+"""Lint-rule fixtures: deliberately defective (and clean) snippets.
+
+These files are *data* for ``repro.analysis`` — each exercises one rule,
+positively or negatively.  They are named so pytest never collects them,
+and their known findings live in the committed ``.analysis-baseline.json``
+(which is how the baseline workflow itself stays exercised in CI: the
+analyzer must flag exactly these, and the baseline must suppress them).
+"""

@@ -1,0 +1,24 @@
+"""REPRO-API001 positive fixture: ``__all__`` drift in both directions.
+
+``ghost`` is exported but never defined (error); ``stray`` is public but
+unexported (warning); ``_private`` must not be flagged.
+"""
+
+from __future__ import annotations
+
+__all__ = ["exported", "ghost"]
+
+
+def exported() -> int:
+    """Defined and exported: consistent."""
+    return 1
+
+
+def stray() -> int:
+    """Public but missing from __all__: silent API drift."""
+    return 2
+
+
+def _private() -> int:
+    """Underscore-private: exempt from the export contract."""
+    return 3

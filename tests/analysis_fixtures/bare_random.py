@@ -1,0 +1,25 @@
+"""REPRO-RNG001 positive fixture: RNG use that bypasses the stream registry.
+
+Three flavours the rule must flag — a stdlib value import, a bare
+``random.*`` call and a module-level ``np.random.*`` call — plus one it
+must not: a type-only annotation import from ``numpy.random``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+from numpy.random import Generator
+
+
+def unseeded_think_time(mean_ms: float) -> float:
+    """Draw a think time from process-global, unseeded generators."""
+    jitter = random.random()
+    sample = np.random.exponential(mean_ms)
+    return sample * (0.5 + jitter)
+
+
+def annotated(rng: Generator) -> float:
+    """Type-only Generator import is fine; drawing from it is too."""
+    return float(rng.random())

@@ -1,0 +1,28 @@
+"""REPRO-MUT001 positive fixture: defaults sharing state across calls.
+
+A list literal and a ``dict()`` call default must both be flagged; the
+``None`` sentinel and immutable tuple must not.
+"""
+
+from __future__ import annotations
+
+__all__ = ["accumulate", "tagged", "fine"]
+
+
+def accumulate(value: float, into: list = []) -> list:
+    """Append into a default list shared by every call."""
+    into.append(value)
+    return into
+
+
+def tagged(name: str, labels: dict = dict()) -> dict:
+    """Mutate a default dict shared by every call."""
+    labels[name] = True
+    return labels
+
+
+def fine(value: float, into: list | None = None, shape: tuple = ()) -> list:
+    """The sanctioned pattern: None sentinel, immutable default."""
+    out = [] if into is None else into
+    out.append(value)
+    return out

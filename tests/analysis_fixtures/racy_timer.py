@@ -1,0 +1,33 @@
+"""REPRO-LOCK001 positive fixture: the serving layer's original timer race.
+
+This reproduces the defect pattern the lock-discipline rule was written
+to catch: a timer whose reader takes the lock while ``record`` mutates
+the same accumulators bare, losing updates under contention.  The rule
+must flag both ``+=`` lines in :meth:`RacyTimer.record`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["RacyTimer"]
+
+
+class RacyTimer:
+    """Cumulative delay accounting with an unguarded read-modify-write."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.evaluations = 0
+        self.total_time_s = 0.0
+
+    def record(self, elapsed_s: float) -> None:
+        """Add one evaluation's wall-clock time (racy: no lock held)."""
+        self.evaluations += 1
+        self.total_time_s += elapsed_s
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Mean per-prediction delay (s) — reads under the lock."""
+        with self._lock:
+            return self.total_time_s / self.evaluations if self.evaluations else 0.0

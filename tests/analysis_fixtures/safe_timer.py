@@ -1,0 +1,32 @@
+"""REPRO-LOCK001 negative fixture: the same timer, correctly locked.
+
+Identical shape to ``racy_timer.py`` but every access to the guarded
+accumulators holds the lock — the rule must stay silent here.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["SafeTimer"]
+
+
+class SafeTimer:
+    """Cumulative delay accounting with all accesses lock-guarded."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.evaluations = 0
+        self.total_time_s = 0.0
+
+    def record(self, elapsed_s: float) -> None:
+        """Add one evaluation's wall-clock time under the lock."""
+        with self._lock:
+            self.evaluations += 1
+            self.total_time_s += elapsed_s
+
+    @property
+    def mean_delay_s(self) -> float:
+        """Mean per-prediction delay (s), read under the lock."""
+        with self._lock:
+            return self.total_time_s / self.evaluations if self.evaluations else 0.0

@@ -1,0 +1,20 @@
+"""REPRO-FLT001 positive fixture ("solver" in the path puts it in scope).
+
+One exact equality and one exact inequality against float literals in
+tolerance-sensitive-looking code; both must be flagged.  The integer
+comparison must not be.
+"""
+
+from __future__ import annotations
+
+__all__ = ["converged", "step"]
+
+
+def converged(residual: float) -> bool:
+    """Exact zero test on a least-squares residual (the classic bug)."""
+    return residual == 0.0
+
+
+def step(delta: float, iterations: int) -> bool:
+    """Exact float inequality plus a benign integer comparison."""
+    return delta != 1.0 and iterations == 0

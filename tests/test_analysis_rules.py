@@ -1,0 +1,315 @@
+"""Per-rule behaviour of the repro.analysis code linter.
+
+Each rule is driven with inline positive and negative snippets through
+:meth:`AnalysisEngine.analyze_source`, plus the committed fixture files
+under ``tests/analysis_fixtures/`` (whose expected findings double as
+the committed baseline's contents).
+"""
+
+from pathlib import Path
+from textwrap import dedent
+
+from repro.analysis import AnalysisEngine, Severity
+from repro.analysis.rules.base import resolve_rules
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures"
+
+
+def findings_for(rule_name: str, source: str, path: str = "src/repro/module.py"):
+    engine = AnalysisEngine(resolve_rules([rule_name]))
+    return engine.analyze_source(dedent(source), path)
+
+
+class TestLockDiscipline:
+    def test_pr1_race_fixture_is_flagged(self):
+        """The serving layer's original timer race must be re-flagged."""
+        engine = AnalysisEngine(resolve_rules(["lock-discipline"]))
+        found = engine.analyze_file(FIXTURES / "racy_timer.py")
+        assert [f.rule_id for f in found] == ["REPRO-LOCK001"] * 2
+        assert {f.symbol for f in found} == {"RacyTimer.record"}
+        assert {f.severity for f in found} == {Severity.ERROR}
+        assert any("evaluations" in f.message for f in found)
+        assert any("total_time_s" in f.message for f in found)
+
+    def test_locked_twin_is_silent(self):
+        engine = AnalysisEngine(resolve_rules(["lock-discipline"]))
+        assert engine.analyze_file(FIXTURES / "safe_timer.py") == []
+
+    def test_constructor_writes_are_exempt(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+            """,
+        )
+        assert found == []
+
+    def test_bare_read_of_write_guarded_attr_is_flagged(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.count = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.count += 1
+
+                def peek(self):
+                    return self.count
+            """,
+        )
+        assert [f.symbol for f in found] == ["C.peek"]
+        assert "read here" in found[0].message
+
+    def test_read_only_attr_outside_lock_is_fine(self):
+        """Reads of an attr that is only ever *read* under the lock are safe
+        (immutable config consulted both inside and outside a section)."""
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.bounds = (1, 2, 3)
+                    self.total = 0
+
+                def observe(self, x):
+                    with self._lock:
+                        self.total += self.bounds[0] + x
+
+                def describe(self):
+                    return len(self.bounds)
+            """,
+        )
+        assert found == []
+
+    def test_nested_function_under_lock_does_not_count_as_guarded(self):
+        """A closure defined under the lock runs after release."""
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.pending = 0
+
+                def submit(self):
+                    with self._lock:
+                        def later():
+                            self.pending += 1
+                        return later
+            """,
+        )
+        assert found == []
+
+    def test_write_through_subscript_counts_as_write(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            import threading
+
+            class C:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.cache = {}
+
+                def put(self, k, v):
+                    with self._lock:
+                        self.cache[k] = v
+
+                def put_unlocked(self, k, v):
+                    self.cache[k] = v
+            """,
+        )
+        assert [f.symbol for f in found] == ["C.put_unlocked"]
+
+    def test_unlocked_class_is_out_of_scope(self):
+        found = findings_for(
+            "lock-discipline",
+            """
+            class C:
+                def __init__(self):
+                    self.count = 0
+
+                def bump(self):
+                    self.count += 1
+            """,
+        )
+        assert found == []
+
+
+class TestRngDiscipline:
+    def test_stdlib_and_numpy_module_calls_flagged(self):
+        engine = AnalysisEngine(resolve_rules(["rng-discipline"]))
+        found = engine.analyze_file(FIXTURES / "bare_random.py")
+        assert {f.symbol for f in found} == {"random.random", "np.random.exponential"}
+
+    def test_numpy_random_alias_flagged(self):
+        found = findings_for(
+            "rng-discipline",
+            """
+            import numpy.random as npr
+
+            def draw():
+                return npr.normal()
+            """,
+        )
+        assert [f.symbol for f in found] == ["npr.normal"]
+
+    def test_type_only_import_allowed(self):
+        found = findings_for(
+            "rng-discipline",
+            """
+            from numpy.random import Generator
+
+            def use(rng: Generator) -> float:
+                return float(rng.random())
+            """,
+        )
+        assert found == []
+
+    def test_from_random_import_flagged(self):
+        found = findings_for(
+            "rng-discipline",
+            "from random import choice\n",
+        )
+        assert [f.rule_id for f in found] == ["REPRO-RNG001"]
+
+    def test_sanctioned_construction_site_exempt(self):
+        found = findings_for(
+            "rng-discipline",
+            """
+            import numpy as np
+
+            def spawn(seed):
+                return np.random.default_rng(seed)
+            """,
+            path="src/repro/util/rng.py",
+        )
+        assert found == []
+
+
+class TestFloatEquality:
+    def test_fixture_comparisons_flagged(self):
+        engine = AnalysisEngine(resolve_rules(["float-equality"]))
+        found = engine.analyze_file(FIXTURES / "solver_float_eq.py")
+        assert [f.symbol for f in found] == ["==", "!="]
+
+    def test_integer_comparison_not_flagged(self):
+        found = findings_for(
+            "float-equality",
+            "def f(n):\n    return n == 0\n",
+            path="src/repro/lqn/solver.py",
+        )
+        assert found == []
+
+    def test_out_of_scope_module_exempt(self):
+        found = findings_for(
+            "float-equality",
+            "def f(x):\n    return x == 0.0\n",
+            path="src/repro/util/tables.py",
+        )
+        assert found == []
+
+    def test_test_modules_exempt(self):
+        found = findings_for(
+            "float-equality",
+            "def f(x):\n    return x == 0.0\n",
+            path="tests/test_lqn_solver.py",
+        )
+        assert found == []
+
+
+class TestMutableDefaults:
+    def test_fixture_defaults_flagged(self):
+        engine = AnalysisEngine(resolve_rules(["mutable-default-args"]))
+        found = engine.analyze_file(FIXTURES / "mutable_default.py")
+        assert [f.symbol for f in found] == ["accumulate", "tagged"]
+
+    def test_keyword_only_and_lambda_defaults_flagged(self):
+        found = findings_for(
+            "mutable-default-args",
+            """
+            def f(*, acc={}):
+                return acc
+
+            g = lambda xs=[]: xs
+            """,
+        )
+        assert [f.symbol for f in found] == ["f", "<lambda>"]
+
+    def test_none_sentinel_and_immutables_fine(self):
+        found = findings_for(
+            "mutable-default-args",
+            "def f(a=None, b=(), c=0, d='x'):\n    return a, b, c, d\n",
+        )
+        assert found == []
+
+
+class TestPublicApi:
+    def test_fixture_drift_both_directions(self):
+        engine = AnalysisEngine(resolve_rules(["public-api"]))
+        found = engine.analyze_file(FIXTURES / "api_drift.py")
+        by_symbol = {f.symbol: f for f in found}
+        assert set(by_symbol) == {"ghost", "stray"}
+        assert by_symbol["ghost"].severity is Severity.ERROR
+        assert by_symbol["stray"].severity is Severity.WARNING
+
+    def test_module_without_all_is_skipped(self):
+        found = findings_for(
+            "public-api",
+            "def public():\n    return 1\n",
+        )
+        assert found == []
+
+    def test_dynamic_all_stands_down(self):
+        found = findings_for(
+            "public-api",
+            """
+            __all__ = [n for n in ('a', 'b')]
+
+            def public():
+                return 1
+            """,
+        )
+        assert found == []
+
+    def test_star_import_disables_undefined_export_half(self):
+        found = findings_for(
+            "public-api",
+            """
+            from os.path import *
+
+            __all__ = ['join', 'basename']
+            """,
+        )
+        assert found == []
+
+    def test_reexports_count_as_definitions(self):
+        found = findings_for(
+            "public-api",
+            """
+            from repro.util.errors import ValidationError
+
+            __all__ = ['ValidationError']
+            """,
+        )
+        assert found == []

@@ -16,6 +16,7 @@ from repro.distribution.rtdist import (
     distribution_for,
 )
 from repro.util.errors import CalibrationError, ValidationError
+from repro.util.rng import spawn_rng
 
 
 class TestExponentialResponse:
@@ -94,7 +95,7 @@ class TestCalibrateScale:
         assert calibrate_scale(samples, 1000.0) == pytest.approx(150.0)
 
     def test_laplace_samples_recover_scale(self):
-        rng = np.random.default_rng(0)
+        rng = spawn_rng(0, "test-distribution")
         samples = rng.laplace(loc=1000.0, scale=204.1, size=100_000)
         assert calibrate_scale(samples, 1000.0) == pytest.approx(204.1, rel=0.02)
 

@@ -12,6 +12,7 @@ from repro.historical.fitting import (
     fit_power,
 )
 from repro.util.errors import CalibrationError
+from repro.util.rng import spawn_rng
 
 
 class TestLinear:
@@ -25,7 +26,7 @@ class TestLinear:
         assert fit.r_squared == pytest.approx(1.0)
 
     def test_noisy_fit_reasonable(self):
-        rng = np.random.default_rng(0)
+        rng = spawn_rng(0, "test-fitting")
         x = np.linspace(0, 10, 50)
         y = 3 * x + 5 + rng.normal(0, 0.1, 50)
         slope, intercept = fit_linear(x, y).params

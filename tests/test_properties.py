@@ -20,6 +20,7 @@ from repro.lqn.mva import MvaInput, Station, StationKind, solve_bard_schweitzer
 from repro.prediction.interface import PredictionTimer
 from repro.resource_manager.allocation import ManagedServer, allocate
 from repro.resource_manager.sla import ClassWorkload
+from repro.util.rng import spawn_rng
 
 
 # ---------------------------------------------------------------------------
@@ -38,7 +39,7 @@ network_strategy = st.tuples(
 @given(network_strategy, st.integers(min_value=0, max_value=2**31))
 def test_mva_conservation_laws(config, seed):
     n_stations, n_classes, base_pop, think = config
-    rng = np.random.default_rng(seed)
+    rng = spawn_rng(seed, "test-properties")
     demands = rng.uniform(0.1, 20.0, size=(n_classes, n_stations))
     populations = [int(base_pop * rng.uniform(0.2, 1.0)) for _ in range(n_classes)]
     inp = MvaInput(

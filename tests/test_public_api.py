@@ -26,6 +26,7 @@ def test_quickstart_flow():
 
 
 def test_subpackages_importable():
+    import repro.analysis
     import repro.caching
     import repro.distribution
     import repro.experiments

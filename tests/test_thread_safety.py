@@ -1,0 +1,128 @@
+"""Regression tests for races found by the REPRO-LOCK001 audit.
+
+Two shared-mutable hot spots predated the serving layer's worker pool:
+``LqnSolver.solve_count`` (one solver instance is shared by every pool
+worker) and ``HistoricalModel.predictions_made`` / ``_mix_cache`` (the
+historical model serves as the concurrent fallback predictor).  Both
+read-modify-writes were bare ``+=``; under contention they lose updates.
+These tests hammer each counter from many threads and require exact
+totals, which fails against the unlocked versions.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.historical.datastore import HistoricalDataPoint, HistoricalDataStore
+from repro.historical.model import HistoricalModel
+from repro.lqn.builder import (
+    RequestTypeParameters,
+    TradeModelParameters,
+    build_trade_model,
+)
+from repro.lqn.solver import LqnSolver
+from repro.servers.catalogue import APP_SERV_F
+from repro.workload.trade import typical_workload
+
+MX = {"F": 186.0, "VF": 320.0, "S": 86.0}
+M = 0.14
+
+
+def _synthetic_mrt(server: str, n: int) -> float:
+    n_star = MX[server] / M
+    c_l = 8.0 * (186.0 / MX[server]) ** 0.2
+    lam = 1.1 / n_star
+    if n <= n_star:
+        return c_l * pow(2.718281828, lam * n)
+    return (n - n_star) / (MX[server] / 1000.0) + c_l * 3.0
+
+
+def _build_store(servers=("F", "VF")) -> HistoricalDataStore:
+    store = HistoricalDataStore()
+    for server in servers:
+        n_star = MX[server] / M
+        for frac in (0.35, 0.66, 1.15, 1.6):
+            n = int(frac * n_star)
+            store.add(
+                HistoricalDataPoint(
+                    server=server,
+                    n_clients=n,
+                    mean_response_ms=_synthetic_mrt(server, n),
+                    throughput_req_per_s=min(M * n, MX[server]),
+                    n_samples=50,
+                )
+            )
+    return store
+
+
+@pytest.fixture(scope="module")
+def historical_model():
+    return HistoricalModel.calibrate(
+        _build_store(),
+        MX,
+        new_servers=("S",),
+        mix_observations=[(0.0, 189.0), (0.25, 158.0)],
+        mix_server="F",
+    )
+
+
+def _hammer(n_threads: int, per_thread: int, work) -> None:
+    """Run ``work(i)`` per_thread times on each of n_threads threads, with a
+    barrier so the read-modify-writes genuinely interleave."""
+    barrier = threading.Barrier(n_threads)
+
+    def worker(tid: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            work(tid * per_thread + i)
+
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        list(pool.map(worker, range(n_threads)))
+
+
+class TestHistoricalModelThreadSafety:
+    def test_predictions_made_is_exact_under_contention(self, historical_model):
+        before = historical_model.predictions_made
+        n_threads, per_thread = 8, 500
+
+        def work(i: int) -> None:
+            historical_model.predict_mrt_ms("F", 100 + (i % 7))
+
+        _hammer(n_threads, per_thread, work)
+        assert historical_model.predictions_made - before == n_threads * per_thread
+
+    def test_mix_cache_consistent_under_concurrent_fill(self, historical_model):
+        historical_model._mix_cache.clear()
+        fractions = [round(0.01 * (1 + i % 9), 2) for i in range(9)]
+
+        def work(i: int) -> None:
+            buy = fractions[i % len(fractions)]
+            historical_model.predict_mrt_ms("S", 200, buy_fraction=buy)
+
+        _hammer(8, 200, work)
+        cached_keys = set(historical_model._mix_cache)
+        assert cached_keys == {("S", f) for f in set(fractions)}
+
+
+class TestSolverThreadSafety:
+    def test_solve_count_is_exact_under_contention(self):
+        params = TradeModelParameters(
+            request_types={
+                "browse": RequestTypeParameters(
+                    name="browse",
+                    app_demand_ms=5.376,
+                    db_calls=1.14,
+                    db_cpu_per_call_ms=0.8294,
+                    db_disk_per_call_ms=1.2,
+                )
+            }
+        )
+        solver = LqnSolver()
+        n_threads, per_thread = 4, 3
+
+        def work(i: int) -> None:
+            solver.solve(build_trade_model(APP_SERV_F, typical_workload(40 + i), params))
+
+        _hammer(n_threads, per_thread, work)
+        assert solver.solve_count == n_threads * per_thread
