@@ -1,0 +1,120 @@
+"""Benchmark: the tracing subsystem's disabled-path overhead budget.
+
+The repro.trace acceptance bar is that instrumentation left in the hot
+paths (the layered solver, the serving path) costs **< 2%** of an LQN
+solve when tracing is disabled.  Measured two ways:
+
+* a microbenchmark of the disabled ``with TRACER.span(...)`` no-op,
+  multiplied by a conservative count of the instrumentation call sites
+  one solve passes through, compared against the measured solve time;
+* an A/B wall-clock comparison of the same solve loop with tracing
+  disabled vs enabled on an in-memory ring sink (reported for context —
+  the *enabled* cost is allowed to be real; only disabled must be free).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.lqn.builder import (
+    RequestTypeParameters,
+    TradeModelParameters,
+    build_trade_model,
+)
+from repro.lqn.solver import LqnSolver, SolverOptions
+from repro.servers.catalogue import APP_SERV_S
+from repro.trace import TRACER, RingBufferSink
+from repro.workload.trade import typical_workload
+
+PARAMS = TradeModelParameters(
+    request_types={
+        "browse": RequestTypeParameters(
+            name="browse",
+            app_demand_ms=5.376,
+            db_calls=1.14,
+            db_cpu_per_call_ms=0.8294,
+            db_disk_per_call_ms=1.2,
+        )
+    }
+)
+
+# A deliberate over-count of the disabled tracer touch points one solve
+# passes through (span context managers + enabled-flag guards).
+CALLSITES_PER_SOLVE = 16
+
+
+def _solve_once(solver: LqnSolver, model) -> None:
+    solver.solve(model)
+
+
+def _mean_solve_s(solver: LqnSolver, model, repeats: int) -> float:
+    _solve_once(solver, model)  # warm any lazy setup out of the timing
+    start = time.perf_counter()
+    for _ in range(repeats):
+        _solve_once(solver, model)
+    return (time.perf_counter() - start) / repeats
+
+
+def _noop_span_cost_s(iterations: int = 200_000) -> float:
+    assert not TRACER.enabled
+    span = TRACER.span
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with span("bench"):
+            pass
+    return (time.perf_counter() - start) / iterations
+
+
+def test_bench_disabled_overhead_below_2_percent():
+    """The acceptance gate: disabled instrumentation costs < 2% per solve."""
+    assert not TRACER.enabled
+    model = build_trade_model(APP_SERV_S, typical_workload(400), PARAMS)
+    solver = LqnSolver(SolverOptions(convergence_criterion_ms=0.5))
+
+    mean_solve_s = _mean_solve_s(solver, model, repeats=30)
+    noop_s = _noop_span_cost_s()
+    overhead_fraction = (CALLSITES_PER_SOLVE * noop_s) / mean_solve_s
+
+    print(
+        f"\nmean solve: {mean_solve_s * 1e3:.3f} ms, disabled span: "
+        f"{noop_s * 1e9:.0f} ns, implied overhead ({CALLSITES_PER_SOLVE} "
+        f"sites): {overhead_fraction * 100:.4f}%"
+    )
+    assert overhead_fraction < 0.02, (
+        f"disabled tracing costs {overhead_fraction * 100:.3f}% of a solve "
+        f"(budget: 2%); noop span = {noop_s * 1e9:.0f} ns"
+    )
+
+
+def test_bench_enabled_vs_disabled_solve_loop():
+    """Context numbers: the same solve loop with tracing on vs off."""
+    model = build_trade_model(APP_SERV_S, typical_workload(400), PARAMS)
+    solver = LqnSolver(SolverOptions(convergence_criterion_ms=0.5))
+    repeats = 15
+
+    disabled_s = _mean_solve_s(solver, model, repeats)
+    sink = RingBufferSink()
+    TRACER.enable(sink)
+    try:
+        enabled_s = _mean_solve_s(solver, model, repeats)
+    finally:
+        TRACER.disable()
+
+    events_per_solve = len(sink.events()) / (repeats + 1)
+    print(
+        f"\nsolve disabled: {disabled_s * 1e3:.3f} ms, enabled: "
+        f"{enabled_s * 1e3:.3f} ms ({events_per_solve:.0f} events/solve)"
+    )
+    assert sink.events(), "enabled run must have recorded events"
+
+
+def test_bench_noop_span_microcost(benchmark):
+    """pytest-benchmark timing of the disabled span fast path."""
+    assert not TRACER.enabled
+    span = TRACER.span
+
+    def op():
+        with span("bench"):
+            pass
+
+    benchmark(op)

@@ -16,10 +16,17 @@ layer and shows the arithmetic change:
 5. the metrics registry reports p50/p95/p99, hit rate and degradations.
 
 Run:  python examples/prediction_service.py
+
+Set ``REPRO_TRACE_DIR=<dir>`` to record the whole run with
+:mod:`repro.trace`: the directory receives ``trace.jsonl`` (summarize
+with ``python -m repro.trace summarize``) and ``trace_chrome.json``
+(load in ``chrome://tracing`` / Perfetto).
 """
 
+import os
 import threading
 import time
+from pathlib import Path
 
 from repro.experiments.scenario import build_predictors
 from repro.servers import APP_SERV_S
@@ -30,6 +37,7 @@ from repro.service import (
     PredictionService,
     ServiceConfig,
 )
+from repro.trace import TRACER, JsonlSink, load_events_jsonl, write_chrome_trace
 
 
 def main() -> None:
@@ -91,5 +99,26 @@ def main() -> None:
               f"degraded: {int(metrics.get('degraded', 0))}")
 
 
+def run_with_optional_tracing() -> None:
+    """Run :func:`main`, recording a trace when REPRO_TRACE_DIR is set."""
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not trace_dir:
+        main()
+        return
+
+    out = Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    jsonl_path = out / "trace.jsonl"
+    TRACER.enable(JsonlSink(jsonl_path))
+    try:
+        with TRACER.span("example.prediction_service"):
+            main()
+    finally:
+        TRACER.disable()
+    chrome_path = out / "trace_chrome.json"
+    count = write_chrome_trace(load_events_jsonl(jsonl_path), chrome_path)
+    print(f"\ntrace: {jsonl_path} ({count} events); chrome: {chrome_path}")
+
+
 if __name__ == "__main__":
-    main()
+    run_with_optional_tracing()

@@ -20,6 +20,9 @@ The library provides:
 * the SLA-driven, slack-tuned resource manager (:mod:`repro.resource_manager`);
 * a concurrent, cached, metered prediction-serving layer that puts any
   predictor online behind the same protocol (:mod:`repro.service`);
+* a hierarchical tracing subsystem — context-propagated spans over the
+  solver, historical, service and simulation layers, with a summarize
+  CLI and Chrome trace export (:mod:`repro.trace`);
 * one experiment driver per table/figure of the paper
   (:mod:`repro.experiments`).
 
@@ -61,6 +64,7 @@ from repro.service import (
     ServiceConfig,
 )
 from repro.simulation import SimulationConfig, SimulationResult, simulate_deployment
+from repro.trace import TRACER, JsonlSink, RingBufferSink, Tracer
 from repro.workload import ServiceClass, browse_class, buy_class, mixed_workload, typical_workload
 
 __version__ = "1.0.0"
@@ -91,6 +95,10 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "simulate_deployment",
+    "TRACER",
+    "Tracer",
+    "RingBufferSink",
+    "JsonlSink",
     "ServiceClass",
     "browse_class",
     "buy_class",

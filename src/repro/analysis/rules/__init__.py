@@ -10,6 +10,7 @@ REPRO-RNG001    rng-discipline        unseeded module-level RNG use
 REPRO-FLT001    float-equality        exact float == in tolerance code
 REPRO-MUT001    mutable-default-args  shared mutable default arguments
 REPRO-API001    public-api            __all__ drift vs. defined names
+REPRO-TRC001    trace-discipline      spans driven by bare begin()/end()
 ==============  ====================  =====================================
 
 To add a rule: new module here, subclass
@@ -24,6 +25,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports register the rules)
     mutable_defaults,
     public_api,
     rng_discipline,
+    trace_discipline,
 )
 from repro.analysis.rules.base import Rule, SourceFile, all_rules, register, resolve_rules
 

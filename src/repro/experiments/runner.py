@@ -15,7 +15,9 @@ from __future__ import annotations
 import argparse
 import importlib
 import sys
-import time
+
+from repro.trace import TRACER, JsonlSink
+from repro.util.clock import SYSTEM_CLOCK
 
 __all__ = ["EXPERIMENTS", "run_experiment", "main"]
 
@@ -36,6 +38,7 @@ EXPERIMENTS: dict[str, str] = {
     "delay": "repro.experiments.delay",
     "recalibration": "repro.experiments.recalibration",
     "serving": "repro.experiments.serving",
+    "tracing": "repro.experiments.tracing",
 }
 
 
@@ -46,7 +49,8 @@ def run_experiment(experiment_id: str, *, fast: bool = False):
             f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
         )
     module = importlib.import_module(EXPERIMENTS[experiment_id])
-    return module.run(fast=fast)
+    with TRACER.span("experiment", id=experiment_id, fast=fast):
+        return module.run(fast=fast)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -62,6 +66,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--fast", action="store_true", help="fast, coarser profile")
     parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL trace of the run (summarize/export with "
+        "'python -m repro.trace')",
+    )
     args = parser.parse_args(argv)
 
     if args.list or not args.experiments:
@@ -69,16 +79,23 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment_id:15s} {module}")
         return 0
 
-    ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
-    for experiment_id in ids:
-        start = time.perf_counter()
-        result = run_experiment(experiment_id, fast=args.fast)
-        elapsed = time.perf_counter() - start
-        print("=" * 78)
-        print(f"{result.title}   [{experiment_id}, {elapsed:.1f}s]")
-        print("=" * 78)
-        print(result.rendered)
-        print()
+    if args.trace:
+        TRACER.enable(JsonlSink(args.trace))
+    try:
+        ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+        for experiment_id in ids:
+            start = SYSTEM_CLOCK.perf_s()
+            result = run_experiment(experiment_id, fast=args.fast)
+            elapsed = SYSTEM_CLOCK.perf_s() - start
+            print("=" * 78)
+            print(f"{result.title}   [{experiment_id}, {elapsed:.1f}s]")
+            print("=" * 78)
+            print(result.rendered)
+            print()
+    finally:
+        if args.trace:
+            TRACER.disable()
+            print(f"trace written to {args.trace}")
     return 0
 
 

@@ -1,0 +1,101 @@
+"""The tracing experiment: where does a served prediction spend its time?
+
+Enables :mod:`repro.trace` around a representative workload — a hybrid
+calibration (a burst of layered solves), then a batch of service
+requests covering cache misses, hits and a forced degradation — and
+reports the per-span-name profile the ``python -m repro.trace
+summarize`` CLI would print, plus the critical path of the slowest
+request and the measured cost of a disabled-tracer span (the "is the
+no-op fast path actually free?" number the overhead benchmark gates).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenario import ExperimentResult, build_predictors
+from repro.servers.catalogue import APP_SERV_S
+from repro.service.admission import AdmissionConfig
+from repro.service.service import PredictionService, ServiceConfig
+from repro.trace import TRACER, RingBufferSink, Tracer, render_summary, summarize_events
+from repro.util.clock import SYSTEM_CLOCK
+from repro.util.tables import format_kv
+
+__all__ = ["run", "noop_span_cost_ns"]
+
+
+def noop_span_cost_ns(iterations: int = 200_000) -> float:
+    """Measured per-span cost (ns) of the disabled tracer's no-op path.
+
+    Measured on a private disabled :class:`Tracer` (same code path as the
+    global one) so the number stays honest even when the run itself is
+    being traced, e.g. under ``runner --trace``.
+    """
+    idle = Tracer()
+    span = idle.span  # bind once, as instrumented hot loops would
+    start = SYSTEM_CLOCK.perf_s()
+    for _ in range(iterations):
+        with span("bench"):
+            pass
+    return (SYSTEM_CLOCK.perf_s() - start) / iterations * 1e9
+
+
+def _traced_workload(fast: bool) -> None:
+    """A workload touching every instrumented layer."""
+    historical, lqn, _hybrid, _ = build_predictors(fast=fast)
+    with PredictionService(
+        lqn,
+        fallback=historical,
+        config=ServiceConfig(admission=AdmissionConfig(timeout_s=30.0)),
+    ) as service:
+        for n in (200, 500, 800):  # cold misses -> pool -> lqn.solve spans
+            service.predict_mrt_ms(APP_SERV_S.name, n)
+        for _ in range(5):  # warm hits on the same grid cell
+            service.predict_mrt_ms(APP_SERV_S.name, 500)
+        service.predict_throughput(APP_SERV_S.name, 500)
+    # Degradation: an impossible deadline forces the historical fallback.
+    with PredictionService(
+        lqn,
+        fallback=historical,
+        config=ServiceConfig(admission=AdmissionConfig(timeout_s=1e-6)),
+    ) as tight:
+        tight.predict_mrt_ms(APP_SERV_S.name, 950)
+    historical.predict_mrt_ms(APP_SERV_S.name, 400, buy_fraction=0.1)
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Trace the canonical serving workload and summarize the span tree."""
+    noop_ns = noop_span_cost_ns(50_000 if fast else 200_000)
+
+    sink = RingBufferSink()
+    TRACER.enable(sink)
+    try:
+        _traced_workload(fast)
+    finally:
+        # detach, not disable: under ``runner --trace`` the runner's own
+        # JSONL sink is also attached and must keep recording.
+        TRACER.detach(sink)
+
+    events = sink.events()
+    summary = summarize_events(events)
+    rendered_summary = render_summary(summary, source="in-memory ring buffer")
+
+    by_name = {name: stats.count for name, stats in summary.spans.items()}
+    header = format_kv(
+        {
+            "events captured": len(events),
+            "events dropped (ring full)": sink.dropped,
+            "distinct span names": len(summary.spans),
+            "disabled-span cost (ns/op)": noop_ns,
+        }
+    )
+    rendered = f"{header}\n\n{rendered_summary}"
+    return ExperimentResult(
+        experiment_id="tracing",
+        title="Hierarchical trace of the prediction-serving stack",
+        rendered=rendered,
+        data={
+            "events": len(events),
+            "dropped": sink.dropped,
+            "noop_span_cost_ns": noop_ns,
+            "span_counts": by_name,
+        },
+    )

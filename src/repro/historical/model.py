@@ -27,6 +27,7 @@ from repro.historical.relationships import (
 )
 from repro.historical.scaling import MaxThroughputScaling, ServerCalibration
 from repro.historical.throughput import ThroughputModel
+from repro.trace import TRACER
 from repro.util.errors import CalibrationError
 from repro.util.floats import is_negligible
 from repro.util.validation import check_fraction, check_positive
@@ -135,6 +136,33 @@ class HistoricalModel:
             ``(buy_fraction, max_throughput)`` pairs on one established
             server, calibrating relationship 3.
         """
+        with TRACER.span("historical.calibrate") as span:
+            model = cls._calibrate(
+                store,
+                max_throughputs,
+                gradient=gradient,
+                n_ldp=n_ldp,
+                n_udp=n_udp,
+                new_servers=new_servers,
+                mix_observations=mix_observations,
+                mix_server=mix_server,
+            )
+            span.set_attribute("servers", len(model.server_models))
+            return model
+
+    @classmethod
+    def _calibrate(
+        cls,
+        store: HistoricalDataStore,
+        max_throughputs: dict[str, float],
+        *,
+        gradient: float | None,
+        n_ldp: int | None,
+        n_udp: int | None,
+        new_servers: tuple[str, ...],
+        mix_observations: list[tuple[float, float]] | None,
+        mix_server: str | None,
+    ) -> "HistoricalModel":
         established = [s for s in store.servers() if s in max_throughputs]
         if not established:
             raise CalibrationError("no established servers with data and max throughput")
@@ -227,9 +255,10 @@ class HistoricalModel:
         check_fraction(buy_fraction, "buy_fraction")
         with self._lock:
             self.predictions_made += 1
-        if is_negligible(buy_fraction):
-            return self._model_for(server).predict_ms(n_clients)
-        return self._mix_adjusted_model(server, buy_fraction).predict_ms(n_clients)
+        with TRACER.span("historical.predict", op="mrt", server=server):
+            if is_negligible(buy_fraction):
+                return self._model_for(server).predict_ms(n_clients)
+            return self._mix_adjusted_model(server, buy_fraction).predict_ms(n_clients)
 
     def predict_throughput(
         self, server: str, n_clients: float, *, buy_fraction: float = 0.0
@@ -239,10 +268,11 @@ class HistoricalModel:
         check_fraction(buy_fraction, "buy_fraction")
         with self._lock:
             self.predictions_made += 1
-        if is_negligible(buy_fraction):
-            return self.throughput_model.predict_throughput(server, n_clients)
-        mx = self._mix_max_throughput(server, buy_fraction)
-        return float(min(self.throughput_model.gradient * n_clients, mx))
+        with TRACER.span("historical.predict", op="throughput", server=server):
+            if is_negligible(buy_fraction):
+                return self.throughput_model.predict_throughput(server, n_clients)
+            mx = self._mix_max_throughput(server, buy_fraction)
+            return float(min(self.throughput_model.gradient * n_clients, mx))
 
     def max_clients(
         self, server: str, mrt_goal_ms: float, *, buy_fraction: float = 0.0
@@ -251,9 +281,10 @@ class HistoricalModel:
         check_fraction(buy_fraction, "buy_fraction")
         with self._lock:
             self.predictions_made += 1
-        if is_negligible(buy_fraction):
-            return self._model_for(server).max_clients(mrt_goal_ms)
-        return self._mix_adjusted_model(server, buy_fraction).max_clients(mrt_goal_ms)
+        with TRACER.span("historical.predict", op="capacity", server=server):
+            if is_negligible(buy_fraction):
+                return self._model_for(server).max_clients(mrt_goal_ms)
+            return self._mix_adjusted_model(server, buy_fraction).max_clients(mrt_goal_ms)
 
     def parameter_table(self) -> list[tuple[str, float, float]]:
         """Rows of (server, c_L, λ_L) — the layout of the paper's table 1."""
@@ -296,14 +327,19 @@ class HistoricalModel:
         with self._lock:
             cached = self._mix_cache.get(key)
         if cached is not None:
+            TRACER.instant("historical.mix_cache", hit=True, server=server)
             return cached
-        mx_b = self._mix_max_throughput(server, buy_fraction)
-        lower, upper = self.scaling.predict_equations(mx_b)
-        n_at_max = mx_b / self.throughput_model.gradient
-        lower = _sanitise_predicted_lower(lower, upper, n_at_max)
-        model = PiecewiseResponseModel.assemble(
-            f"{server}@buy={buy_fraction:.3f}", lower, upper, n_at_max
-        )
+        # A cache miss refits the mix-adjusted piecewise model — the
+        # historical method's only non-trivial prediction-time work, hence
+        # its own span (vs the instant a hit gets).
+        with TRACER.span("historical.mix_refit", server=server, buy_fraction=buy_fraction):
+            mx_b = self._mix_max_throughput(server, buy_fraction)
+            lower, upper = self.scaling.predict_equations(mx_b)
+            n_at_max = mx_b / self.throughput_model.gradient
+            lower = _sanitise_predicted_lower(lower, upper, n_at_max)
+            model = PiecewiseResponseModel.assemble(
+                f"{server}@buy={buy_fraction:.3f}", lower, upper, n_at_max
+            )
         with self._lock:
             if len(self._mix_cache) < 100_000:
                 self._mix_cache[key] = model

@@ -19,7 +19,6 @@ paper measures an 11 s mean start-up delay for its setup, after which
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.historical.datastore import HistoricalDataPoint, HistoricalDataStore
@@ -29,6 +28,8 @@ from repro.lqn.builder import TradeModelParameters, build_trade_model
 from repro.lqn.model import LqnModel
 from repro.lqn.solver import LqnSolver, SolverOptions
 from repro.servers.architecture import ServerArchitecture
+from repro.trace import TRACER
+from repro.util.clock import SYSTEM_CLOCK, Clock
 from repro.util.errors import CalibrationError
 from repro.util.validation import check_positive, check_positive_int, require
 from repro.workload.service_class import ServiceClass
@@ -112,6 +113,7 @@ class AdvancedHybridModel:
         solver_options: SolverOptions | None = None,
         mix_fractions: tuple[float, float] = (0.0, 0.25),
         calibrate_mix: bool = True,
+        clock: Clock = SYSTEM_CLOCK,
     ) -> "AdvancedHybridModel":
         """Generate pseudo-historical data and calibrate the historical model.
 
@@ -122,79 +124,85 @@ class AdvancedHybridModel:
         """
         check_positive_int(points_per_equation, "points_per_equation")
         require(len(target_servers) > 0, "need at least one target server")
-        solver = LqnSolver(solver_options)
+        solver = LqnSolver(solver_options, clock=clock)
         report = HybridCalibrationReport()
-        start = time.perf_counter()
+        with TRACER.span("hybrid.build", servers=len(target_servers)) as span:
+            start = clock.perf_s()
 
-        think_ms = (
-            workload_class.think_time_ms if workload_class is not None else 7000.0
-        )
-        gradient = gradient_from_think_time(think_ms)
+            think_ms = (
+                workload_class.think_time_ms if workload_class is not None else 7000.0
+            )
+            gradient = gradient_from_think_time(think_ms)
 
-        store = HistoricalDataStore()
-        max_throughputs: dict[str, float] = {}
-        lower_fracs = _spread(LOWER_POINT_FRACTIONS, points_per_equation)
-        upper_fracs = _spread(UPPER_POINT_FRACTIONS, points_per_equation)
+            store = HistoricalDataStore()
+            max_throughputs: dict[str, float] = {}
+            lower_fracs = _spread(LOWER_POINT_FRACTIONS, points_per_equation)
+            upper_fracs = _spread(UPPER_POINT_FRACTIONS, points_per_equation)
 
-        for arch in target_servers:
-            probe = build_trade_model(arch, typical_workload(100), parameters)
-            mx = lqn_max_throughput(probe)
-            max_throughputs[arch.name] = mx
-            n_at_max = mx / gradient
-            count = 0
-            for frac in (*lower_fracs, *upper_fracs):
-                n = max(1, int(round(frac * n_at_max)))
-                model = build_trade_model(arch, typical_workload(n), parameters)
-                solution = solver.solve(model)
-                report.lqn_solves += 1
-                store.add(
-                    HistoricalDataPoint(
-                        server=arch.name,
-                        n_clients=n,
-                        mean_response_ms=solution.mean_response_ms(),
-                        throughput_req_per_s=solution.total_throughput_req_per_s(),
-                        n_samples=1,
+            for arch in target_servers:
+                probe = build_trade_model(arch, typical_workload(100), parameters)
+                mx = lqn_max_throughput(probe)
+                max_throughputs[arch.name] = mx
+                n_at_max = mx / gradient
+                count = 0
+                for frac in (*lower_fracs, *upper_fracs):
+                    n = max(1, int(round(frac * n_at_max)))
+                    model = build_trade_model(arch, typical_workload(n), parameters)
+                    solution = solver.solve(model)
+                    report.lqn_solves += 1
+                    store.add(
+                        HistoricalDataPoint(
+                            server=arch.name,
+                            n_clients=n,
+                            mean_response_ms=solution.mean_response_ms(),
+                            throughput_req_per_s=solution.total_throughput_req_per_s(),
+                            n_samples=1,
+                        )
                     )
-                )
-                count += 1
-            report.per_server_points[arch.name] = count
-            report.data_points += count
+                    count += 1
+                report.per_server_points[arch.name] = count
+                report.data_points += count
 
-        mix_observations = None
-        mix_server = None
-        if calibrate_mix and "buy" in parameters.request_types:
-            mix_server = target_servers[0].name
-            mix_observations = []
-            for buy_fraction in mix_fractions:
-                n = 400  # any pre-saturation load: max throughput is asymptotic
-                model = build_trade_model(
-                    target_servers[0], mixed_workload(n, buy_fraction), parameters
-                )
-                mix_observations.append((buy_fraction, lqn_max_throughput(model)))
-                report.lqn_solves += 1
+            mix_observations = None
+            mix_server = None
+            if calibrate_mix and "buy" in parameters.request_types:
+                mix_server = target_servers[0].name
+                mix_observations = []
+                for buy_fraction in mix_fractions:
+                    n = 400  # any pre-saturation load: max throughput is asymptotic
+                    model = build_trade_model(
+                        target_servers[0], mixed_workload(n, buy_fraction), parameters
+                    )
+                    mix_observations.append((buy_fraction, lqn_max_throughput(model)))
+                    report.lqn_solves += 1
 
-        historical = HistoricalModel.calibrate(
-            store,
-            max_throughputs,
-            gradient=gradient,
-            mix_observations=mix_observations,
-            mix_server=mix_server,
-        )
-        report.startup_delay_s = time.perf_counter() - start
+            historical = HistoricalModel.calibrate(
+                store,
+                max_throughputs,
+                gradient=gradient,
+                mix_observations=mix_observations,
+                mix_server=mix_server,
+            )
+            report.startup_delay_s = clock.perf_s() - start
+            span.set_attribute("lqn_solves", report.lqn_solves)
+            span.set_attribute("data_points", report.data_points)
         return cls(historical=historical, report=report, parameters=parameters)
 
     # Convenience passthroughs so the hybrid exposes the same prediction API.
 
     def predict_mrt_ms(self, server: str, n_clients: float, *, buy_fraction: float = 0.0) -> float:
         """Predict mean response time (ms) — near-instant after start-up."""
+        TRACER.instant("hybrid.predict", op="mrt", served_by="historical")
         return self.historical.predict_mrt_ms(server, n_clients, buy_fraction=buy_fraction)
 
     def predict_throughput(self, server: str, n_clients: float, *, buy_fraction: float = 0.0) -> float:
         """Predict throughput (req/s)."""
+        TRACER.instant("hybrid.predict", op="throughput", served_by="historical")
         return self.historical.predict_throughput(server, n_clients, buy_fraction=buy_fraction)
 
     def max_clients(self, server: str, mrt_goal_ms: float, *, buy_fraction: float = 0.0) -> int:
         """Closed-form capacity query (inherited from the historical model)."""
+        TRACER.instant("hybrid.predict", op="capacity", served_by="historical")
         return self.historical.max_clients(server, mrt_goal_ms, buy_fraction=buy_fraction)
 
 
@@ -242,6 +250,12 @@ class BasicHybridModel:
 
     def predict_mrt_ms(self, server: str, n_clients: float, *, buy_fraction: float = 0.0) -> float:
         """Predict mean response time (ms)."""
+        served_by = (
+            "historical.relationship2"
+            if server not in self.report.per_server_points
+            else "historical"
+        )
+        TRACER.instant("hybrid.predict", op="mrt", served_by=served_by)
         return self.historical.predict_mrt_ms(server, n_clients, buy_fraction=buy_fraction)
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -183,12 +184,18 @@ def solve_bard_schweitzer(
     tol: float = 1e-10,
     max_iterations: int = 100_000,
     damping: float = 0.5,
+    iteration_hook: Callable[[int, float], None] | None = None,
 ) -> MvaSolution:
     """Solve a closed multiclass network by Bard–Schweitzer AMVA.
 
     The fixed point iterates per-class queue lengths with ``damping`` (new =
     damping·update + (1−damping)·old) until the largest queue-length change
     is below ``tol``.
+
+    ``iteration_hook(iteration, delta)`` — when given — is called after
+    every fixed-point step with the queue-length residual; the layered
+    solver uses it to stream convergence-progress trace events.  Leave it
+    ``None`` on hot paths: the ``None`` check is the only cost then.
     """
     check_positive(tol, "tol")
     check_positive_int(max_iterations, "max_iterations")
@@ -305,6 +312,8 @@ def solve_bard_schweitzer(
         Q_new = damping * Q_update + (1.0 - damping) * Q
         delta = float(np.max(np.abs(Q_new - Q))) if Q.size else 0.0
         Q = Q_new
+        if iteration_hook is not None:
+            iteration_hook(iterations, delta)
         if delta < tol:
             break
     else:  # pragma: no cover - defensive

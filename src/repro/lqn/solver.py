@@ -31,7 +31,6 @@ invert under a loose criterion — this solver reproduces that behaviour).
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,10 +38,25 @@ import numpy as np
 from repro.lqn.model import CallKind, LqnModel, Scheduling, Task
 from repro.lqn.mva import MvaInput, Station, StationKind
 from repro.lqn.results import LqnSolution
+from repro.trace import TRACER
+from repro.util.clock import SYSTEM_CLOCK, Clock
 from repro.util.errors import ConvergenceError, ModelError
 from repro.util.validation import check_positive, check_positive_int
 
-__all__ = ["SolverOptions", "LqnSolver"]
+__all__ = ["SolverOptions", "LqnSolver", "MVA_ITERATION_SAMPLE"]
+
+#: Every k-th MVA fixed-point iteration gets an instant event when tracing.
+MVA_ITERATION_SAMPLE = 25
+
+
+def _mva_iteration_hook():
+    """A sampled per-iteration callback carrying the convergence delta."""
+
+    def hook(iteration: int, delta: float) -> None:
+        if iteration == 1 or iteration % MVA_ITERATION_SAMPLE == 0:
+            TRACER.instant("lqn.mva.iteration", iteration=iteration, delta=delta)
+
+    return hook
 
 
 @dataclass(frozen=True)
@@ -77,9 +91,10 @@ class SolverOptions:
 class LqnSolver:
     """Solves :class:`~repro.lqn.model.LqnModel` instances."""
 
-    def __init__(self, options: SolverOptions | None = None):
+    def __init__(self, options: SolverOptions | None = None, *, clock: Clock = SYSTEM_CLOCK):
         self.options = options if options is not None else SolverOptions()
         self.solve_count = 0  # predictions evaluated, for delay accounting
+        self._clock = clock
         # One solver is shared across prediction-service worker threads.
         self._lock = threading.Lock()
 
@@ -87,28 +102,39 @@ class LqnSolver:
 
     def solve(self, model: LqnModel) -> LqnSolution:
         """Solve ``model`` and return steady-state predictions."""
-        start = time.perf_counter()
-        if self.options.lint_models:
-            # Lazy import: repro.analysis imports this module's SolverOptions
-            # consumers; importing at module scope would cycle.
-            from repro.analysis.model_lint import check_model
+        start = self._clock.perf_s()
+        with TRACER.span("lqn.solve") as span:
+            if self.options.lint_models:
+                # Lazy import: repro.analysis imports this module's
+                # SolverOptions consumers; importing at module scope would
+                # cycle.
+                from repro.analysis.model_lint import check_model
 
-            check_model(model)
-        model.validate()
-        classes = model.reference_tasks()
-        if not classes:
-            raise ModelError("model has no reference tasks")
+                with TRACER.span("lqn.lint"):
+                    check_model(model)
+            model.validate()
+            classes = model.reference_tasks()
+            if not classes:
+                raise ModelError("model has no reference tasks")
 
-        vis, hid = self._flatten(model, classes)
-        inp, station_names, task_station_index = self._build_network(model, classes, vis, hid)
-        solution = self._iterate(inp)
+            with TRACER.span("lqn.flatten"):
+                vis, hid = self._flatten(model, classes)
+            with TRACER.span("lqn.build_network"):
+                inp, station_names, task_station_index = self._build_network(
+                    model, classes, vis, hid
+                )
+            with TRACER.span("lqn.iterate"):
+                solution = self._iterate(inp)
 
-        elapsed = time.perf_counter() - start
-        with self._lock:
-            self.solve_count += 1
-        return self._package(
-            model, classes, vis, hid, inp, solution, station_names, task_station_index, elapsed
-        )
+            elapsed = self._clock.perf_s() - start
+            with self._lock:
+                self.solve_count += 1
+            span.set_attribute("classes", len(classes))
+            span.set_attribute("stations", len(station_names))
+            span.set_attribute("iterations", solution[0].iterations)
+            return self._package(
+                model, classes, vis, hid, inp, solution, station_names, task_station_index, elapsed
+            )
 
     def max_clients_for_goal(
         self,
@@ -312,6 +338,11 @@ class LqnSolver:
         prev_response: np.ndarray | None = None
         stage_iterations = 0
         solution = None
+        # Tracing: per-stage instants always (cheap), per-MVA-iteration
+        # instants through a sampled hook so tight fixed points (tens of
+        # thousands of iterations) don't flood the event log.
+        trace_on = TRACER.enabled
+        hook = _mva_iteration_hook() if trace_on else None
         # A loose criterion stops early (coarse, fast); a tight criterion
         # runs the fixed point to queue_tol (accurate, slower).
         for stage in range(1, 64):
@@ -321,17 +352,27 @@ class LqnSolver:
                 tol=stage_tol,
                 max_iterations=options.max_iterations,
                 damping=options.damping,
+                iteration_hook=hook,
             )
             stage_iterations += solution.iterations
             response = solution.cycle_response_ms
             if response.size == 0:
                 # Pure-open model: the mixed-network reduction is closed form.
                 return solution, 0.0
+            residual = None
             if prev_response is not None:
                 residual = float(np.max(np.abs(response - prev_response)))
-                if residual < options.convergence_criterion_ms:
-                    solution.iterations = stage_iterations
-                    return solution, residual
+            if trace_on:
+                TRACER.instant(
+                    "lqn.solve.stage",
+                    stage=stage,
+                    stage_tol=stage_tol,
+                    iterations=solution.iterations,
+                    residual_ms=residual,
+                )
+            if residual is not None and residual < options.convergence_criterion_ms:
+                solution.iterations = stage_iterations
+                return solution, residual
             prev_response = response.copy()
             if stage_tol <= options.queue_tol:
                 solution.iterations = stage_iterations

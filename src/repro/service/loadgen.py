@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.service.service import PredictionService
+from repro.util.clock import SYSTEM_CLOCK, Clock
 from repro.util.rng import spawn_rng
 from repro.util.validation import check_positive_int, require
 
@@ -80,9 +81,16 @@ class LoadReport:
 class LoadGenerator:
     """Drive a :class:`~repro.service.service.PredictionService` under load."""
 
-    def __init__(self, service: PredictionService, config: LoadGenConfig | None = None):
+    def __init__(
+        self,
+        service: PredictionService,
+        config: LoadGenConfig | None = None,
+        *,
+        clock: Clock = SYSTEM_CLOCK,
+    ):
         self.service = service
         self.config = config or LoadGenConfig()
+        self._clock = clock
         total = sum(w for _, w in self.config.operation_weights)
         self._ops = [op for op, _ in self.config.operation_weights]
         self._probs = [w / total for _, w in self.config.operation_weights]
@@ -140,10 +148,10 @@ class LoadGenerator:
         for thread in threads:
             thread.start()
         barrier.wait()
-        start = time.perf_counter()
+        start = self._clock.perf_s()
         for thread in threads:
             thread.join()
-        elapsed = time.perf_counter() - start
+        elapsed = self._clock.perf_s() - start
         total = sum(done)
         return LoadReport(
             requests=total,

@@ -23,7 +23,7 @@ Degradation policy (in the order it is applied):
 
 from __future__ import annotations
 
-import time
+import contextvars
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable
@@ -40,6 +40,8 @@ from repro.service.admission import (
 from repro.service.cache import PredictionCache, quantize_key
 from repro.service.metrics import MetricsRegistry
 from repro.service.pool import CoalescingPool
+from repro.trace import TRACER
+from repro.util.clock import SYSTEM_CLOCK, Clock
 
 __all__ = ["ServiceConfig", "PredictionService"]
 
@@ -89,8 +91,10 @@ class PredictionService:
         config: ServiceConfig | None = None,
         name: str | None = None,
         preflight: Callable[[str, str, float, float], None] | None = None,
+        clock: Clock = SYSTEM_CLOCK,
     ):
         self.primary = primary
+        self._clock = clock
         self.fallback = fallback
         # Admission hook called as preflight(kind, server, operand,
         # buy_fraction) on every cache miss; raising rejects the request
@@ -104,7 +108,9 @@ class PredictionService:
         )
         self.metrics = MetricsRegistry()
         self.cache = PredictionCache(
-            max_entries=self.config.cache_entries, ttl_s=self.config.cache_ttl_s
+            max_entries=self.config.cache_entries,
+            ttl_s=self.config.cache_ttl_s,
+            clock=clock.monotonic_s,
         )
         self.pool = CoalescingPool(max_workers=self.config.max_workers)
         self.admission = AdmissionController(self.config.admission)
@@ -234,9 +240,13 @@ class PredictionService:
         """Answer from the fallback predictor (or re-raise ``error``)."""
         self.metrics.counter(f"degraded.{reason}").inc()
         self.metrics.counter("degraded").inc()
+        TRACER.instant(
+            "service.fallback", reason=reason, available=self.fallback is not None
+        )
         if self.fallback is None:
             raise error
-        return fallback_call(self.fallback)
+        with TRACER.span("service.fallback_call", reason=reason):
+            return fallback_call(self.fallback)
 
     def _serve(
         self,
@@ -248,7 +258,7 @@ class PredictionService:
         fallback_call: Callable[[Predictor], float],
     ) -> float:
         """The common serving path: cache → admission → pool → degrade."""
-        start = time.perf_counter()
+        start = self._clock.perf_s()
         latency = self.metrics.histogram("latency")
         self.metrics.counter("requests").inc()
         key = quantize_key(
@@ -259,60 +269,82 @@ class PredictionService:
             operand_step=self.config.operand_step,
             buy_step=self.config.buy_step,
         )
-        try:
-            hit, value = self.cache.get(key)
-            if hit:
-                return value
-
-            if self.preflight is not None:
-                try:
-                    self.preflight(kind, server, operand, buy_fraction)
-                except Exception:
-                    self.metrics.counter("preflight.rejected").inc()
-                    raise
-
-            if not self.admission.try_enter():
-                return self._degrade(
-                    "saturated",
-                    fallback_call,
-                    ServiceSaturatedError(
-                        f"{self.name}: admission queue full "
-                        f"({self.config.admission.max_pending} pending) and no "
-                        f"fallback predictor is registered"
-                    ),
-                )
+        with TRACER.span("service.request", kind=kind, server=server) as span:
             try:
+                hit, value = self.cache.get(key)
+                TRACER.instant("service.cache", hit=hit)
+                if hit:
+                    span.set_attribute("outcome", "cache_hit")
+                    return value
 
-                def _task() -> float:
-                    result = call_with_retries(
-                        compute,
-                        self.config.admission,
-                        on_retry=lambda _e: self.metrics.counter("retries").inc(),
-                    )
-                    self.cache.put(key, result)
-                    return result
+                if self.preflight is not None:
+                    try:
+                        self.preflight(kind, server, operand, buy_fraction)
+                    except Exception:
+                        self.metrics.counter("preflight.rejected").inc()
+                        span.set_attribute("outcome", "preflight_rejected")
+                        raise
 
-                future = self.pool.submit(key, _task)
-                try:
-                    return future.result(timeout=self.config.admission.timeout_s)
-                except FutureTimeoutError:
-                    self.metrics.counter("timeouts").inc()
+                if not self.admission.try_enter():
+                    TRACER.instant("service.admission", admitted=False)
+                    span.set_attribute("outcome", "degraded.saturated")
                     return self._degrade(
-                        "timeout",
+                        "saturated",
                         fallback_call,
-                        PredictionTimeoutError(
-                            f"{self.name}: {kind} prediction for {server!r} missed "
-                            f"its {self.config.admission.timeout_s}s deadline and "
-                            f"no fallback predictor is registered"
+                        ServiceSaturatedError(
+                            f"{self.name}: admission queue full "
+                            f"({self.config.admission.max_pending} pending) and no "
+                            f"fallback predictor is registered"
                         ),
                     )
-                except TRANSIENT_ERRORS as error:  # survived the retries
-                    self.metrics.counter("errors").inc()
-                    return self._degrade("error", fallback_call, error)
+                TRACER.instant("service.admission", admitted=True)
+                try:
+
+                    def _task() -> float:
+                        with TRACER.span("service.execute", kind=kind, server=server):
+                            result = call_with_retries(
+                                compute,
+                                self.config.admission,
+                                on_retry=lambda _e: self.metrics.counter(
+                                    "retries"
+                                ).inc(),
+                            )
+                            self.cache.put(key, result)
+                            return result
+
+                    # Capture the submitting request's context so the pool
+                    # thread's execute span nests under this request span.
+                    # Coalesced followers attach to the submitter's tree.
+                    if TRACER.enabled:
+                        ctx = contextvars.copy_context()
+                        runner: Callable[[], float] = lambda: ctx.run(_task)
+                    else:
+                        runner = _task
+                    future = self.pool.submit(key, runner)
+                    try:
+                        result = future.result(timeout=self.config.admission.timeout_s)
+                        span.set_attribute("outcome", "computed")
+                        return result
+                    except FutureTimeoutError:
+                        self.metrics.counter("timeouts").inc()
+                        span.set_attribute("outcome", "degraded.timeout")
+                        return self._degrade(
+                            "timeout",
+                            fallback_call,
+                            PredictionTimeoutError(
+                                f"{self.name}: {kind} prediction for {server!r} missed "
+                                f"its {self.config.admission.timeout_s}s deadline and "
+                                f"no fallback predictor is registered"
+                            ),
+                        )
+                    except TRANSIENT_ERRORS as error:  # survived the retries
+                        self.metrics.counter("errors").inc()
+                        span.set_attribute("outcome", "degraded.error")
+                        return self._degrade("error", fallback_call, error)
+                finally:
+                    self.admission.exit()
             finally:
-                self.admission.exit()
-        finally:
-            elapsed = time.perf_counter() - start
-            latency.observe(elapsed)
-            self.metrics.histogram(f"latency.{kind}").observe(elapsed)
-            self.timer.record(elapsed)
+                elapsed = self._clock.perf_s() - start
+                latency.observe(elapsed)
+                self.metrics.histogram(f"latency.{kind}").observe(elapsed)
+                self.timer.record(elapsed)

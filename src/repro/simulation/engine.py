@@ -13,10 +13,17 @@ import heapq
 from typing import Callable
 
 from repro.simulation.events import Event, EventPriority
+from repro.trace import TRACER
 from repro.util.errors import SimulationError
 from repro.util.validation import check_non_negative
 
-__all__ = ["Simulator"]
+__all__ = ["Simulator", "EVENT_TRACE_SAMPLE"]
+
+# When tracing is enabled, one ``sim.events`` instant is emitted per this
+# many processed events — per-event instants would dominate any real run's
+# trace (and its cost); a sampled batch marker keeps the loop visible in
+# the timeline at negligible overhead.
+EVENT_TRACE_SAMPLE = 1024
 
 
 class Simulator:
@@ -80,23 +87,31 @@ class Simulator:
         if self._running:
             raise SimulationError("run_until called re-entrantly")
         self._running = True
-        try:
-            processed = 0
-            while self._heap and self._heap[0].time <= end_time_ms:
-                event = heapq.heappop(self._heap)
-                if event.cancelled:
-                    continue
-                self._now = event.time
-                event.callback()
-                self.events_processed += 1
-                processed += 1
-                if max_events is not None and processed >= max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} before t={end_time_ms}"
-                    )
-            self._now = end_time_ms
-        finally:
-            self._running = False
+        trace_on = TRACER.enabled  # hoisted: keep the event loop's hot path flat
+        with TRACER.span("sim.run_until", end_time_ms=end_time_ms):
+            try:
+                processed = 0
+                while self._heap and self._heap[0].time <= end_time_ms:
+                    event = heapq.heappop(self._heap)
+                    if event.cancelled:
+                        continue
+                    self._now = event.time
+                    event.callback()
+                    self.events_processed += 1
+                    processed += 1
+                    if trace_on and processed % EVENT_TRACE_SAMPLE == 0:
+                        TRACER.instant(
+                            "sim.events", processed=processed, sim_time_ms=self._now
+                        )
+                    if max_events is not None and processed >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} before t={end_time_ms}"
+                        )
+                self._now = end_time_ms
+                if trace_on:
+                    TRACER.counter("sim.events_processed", float(processed))
+            finally:
+                self._running = False
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still in the calendar."""

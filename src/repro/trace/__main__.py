@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.trace`` runs the trace CLI."""
+
+import sys
+
+from repro.trace.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,86 @@
+"""Export structured events in Chrome ``trace_event`` JSON format.
+
+The output loads directly in ``chrome://tracing`` and in Perfetto's
+legacy-trace importer: a JSON object whose ``traceEvents`` array holds
+one record per event, with the standard phase codes —
+
+* span begin/end → ``"B"`` / ``"E"`` duration events (nesting renders as
+  the flame graph);
+* instants → ``"i"`` with thread scope;
+* counters → ``"C"`` (rendered as a track of values).
+
+Timestamps are already microseconds since the tracer epoch, which is
+exactly the unit the format expects, so this module is a field mapping,
+not a conversion.  See
+https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+for the format reference.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.trace.events import BEGIN, COUNTER, END, INSTANT, TraceEvent
+
+__all__ = ["chrome_trace_events", "write_chrome_trace"]
+
+#: Synthetic process id for the single-process traces this repo produces.
+_PID = 1
+
+_PHASES = {BEGIN: "B", END: "E", INSTANT: "i", COUNTER: "C"}
+
+
+def _args(event: TraceEvent) -> dict[str, Any]:
+    """The record's ``args`` payload (attributes, plus counter value)."""
+    if event.kind == COUNTER:
+        # Counter tracks plot each args key as one series.
+        return {event.name: event.value, **event.attributes}
+    args = dict(event.attributes)
+    if event.span_id:
+        args.setdefault("span_id", event.span_id)
+    return args
+
+
+def chrome_trace_events(events: Iterable[TraceEvent]) -> list[dict[str, Any]]:
+    """Map events to ``trace_event`` records (unknown kinds are skipped)."""
+    records: list[dict[str, Any]] = []
+    for event in events:
+        phase = _PHASES.get(event.kind)
+        if phase is None:
+            continue
+        record: dict[str, Any] = {
+            "name": event.name,
+            "ph": phase,
+            "ts": event.ts_us,
+            "pid": _PID,
+            "tid": event.thread_id,
+        }
+        if event.kind == END:
+            # The end record's timestamp is the span's *end*; the begin
+            # record carried the start.
+            record["ts"] = event.ts_us + event.dur_us
+        if event.kind == INSTANT:
+            record["s"] = "t"  # thread-scoped instant
+        args = _args(event)
+        if args:
+            record["args"] = args
+        records.append(record)
+    return records
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: str | Path) -> int:
+    """Write a ``chrome://tracing``-loadable JSON file; returns record count.
+
+    The top-level object form (``{"traceEvents": [...]}``) is used rather
+    than the bare array so metadata can ride along.
+    """
+    records = chrome_trace_events(events)
+    payload = {
+        "traceEvents": records,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.trace"},
+    }
+    Path(path).write_text(json.dumps(payload, separators=(",", ":")), encoding="utf-8")
+    return len(records)

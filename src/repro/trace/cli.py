@@ -1,0 +1,87 @@
+"""The ``python -m repro.trace`` command line.
+
+Usage::
+
+    python -m repro.trace summarize trace.jsonl
+    python -m repro.trace export trace.jsonl -o chrome_trace.json
+
+``summarize`` prints per-span-name count/total/p50/p95 and self-vs-child
+time plus the critical path of the longest request (see
+:mod:`repro.trace.summary`).  ``export`` converts a JSONL trace into
+Chrome ``trace_event`` JSON loadable in ``chrome://tracing`` / Perfetto.
+
+Exit codes: ``0`` success, ``2`` usage error (missing/unreadable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.trace.chrome import write_chrome_trace
+from repro.trace.sinks import load_events_jsonl
+from repro.trace.summary import render_summary, summarize_events
+
+__all__ = ["main", "build_parser"]
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for documentation tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Summarize or export repro.trace JSONL trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="per-span-name stats and the critical path"
+    )
+    summarize.add_argument("trace", help="JSONL trace file (from a JsonlSink)")
+
+    export = sub.add_parser(
+        "export", help="convert to Chrome trace_event JSON (chrome://tracing)"
+    )
+    export.add_argument("trace", help="JSONL trace file (from a JsonlSink)")
+    export.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output path (default: <trace stem>_chrome.json)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    trace_path = Path(args.trace)
+    if not trace_path.is_file():
+        print(f"error: no such trace file: {trace_path}", file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        events = list(load_events_jsonl(trace_path))
+    except (json.JSONDecodeError, KeyError, ValueError) as error:
+        print(
+            f"error: {trace_path} is not a repro.trace JSONL file: {error}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    if args.command == "summarize":
+        print(render_summary(summarize_events(events), source=str(trace_path)))
+        return EXIT_OK
+
+    output = (
+        Path(args.output)
+        if args.output is not None
+        else trace_path.with_name(trace_path.stem + "_chrome.json")
+    )
+    count = write_chrome_trace(events, output)
+    print(f"wrote {count} trace_event records to {output}")
+    return EXIT_OK

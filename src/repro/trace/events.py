@@ -1,0 +1,77 @@
+"""The structured event records the tracer emits.
+
+One flat event type covers the whole vocabulary, discriminated by
+``kind``:
+
+* ``begin`` / ``end`` — a span opening and closing.  The ``end`` event
+  carries the span's duration and final attributes; the ``begin`` event
+  lets streaming sinks show in-flight work.
+* ``instant`` — a point-in-time marker (an MVA iteration, a cache hit)
+  attached to the current span.
+* ``counter`` — a named numeric sample (events processed, queue depth).
+
+Timestamps are **microseconds since the tracer's epoch** (its
+construction), matching the Chrome ``trace_event`` convention so the
+exporter is a field mapping, not a conversion.  Events are immutable;
+the ``attributes`` dict is owned by the event after construction and
+must not be mutated by callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["BEGIN", "END", "INSTANT", "COUNTER", "TraceEvent"]
+
+BEGIN = "begin"
+END = "end"
+INSTANT = "instant"
+COUNTER = "counter"
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One structured trace record (see module docstring for kinds)."""
+
+    kind: str
+    name: str
+    ts_us: float
+    span_id: int = 0  # 0 = not attached to any span
+    parent_id: int = 0  # 0 = a root span
+    thread_id: int = 0
+    dur_us: float = 0.0  # meaningful for END events only
+    value: float = 0.0  # meaningful for COUNTER events only
+    attributes: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A compact JSON-ready dict (zero/empty fields omitted)."""
+        out: dict[str, Any] = {"kind": self.kind, "name": self.name, "ts_us": self.ts_us}
+        if self.span_id:
+            out["span_id"] = self.span_id
+        if self.parent_id:
+            out["parent_id"] = self.parent_id
+        if self.thread_id:
+            out["thread_id"] = self.thread_id
+        if self.kind == END:
+            out["dur_us"] = self.dur_us
+        if self.kind == COUNTER:
+            out["value"] = self.value
+        if self.attributes:
+            out["attributes"] = self.attributes
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "TraceEvent":
+        """Rebuild an event from :meth:`to_dict` output (JSONL loading)."""
+        return cls(
+            kind=raw["kind"],
+            name=raw["name"],
+            ts_us=float(raw["ts_us"]),
+            span_id=int(raw.get("span_id", 0)),
+            parent_id=int(raw.get("parent_id", 0)),
+            thread_id=int(raw.get("thread_id", 0)),
+            dur_us=float(raw.get("dur_us", 0.0)),
+            value=float(raw.get("value", 0.0)),
+            attributes=dict(raw.get("attributes", {})),
+        )

@@ -1,0 +1,122 @@
+"""Pluggable trace sinks: where emitted events go.
+
+A sink is anything with ``emit(event)`` and ``close()``.  The tracer
+fans every event out to all attached sinks; each sink is internally
+locked, so emission is thread-safe without the tracer serialising the
+whole pipeline behind one lock.
+
+* :class:`RingBufferSink` — a bounded in-memory ring; the default for
+  experiments and tests.  Keeps the **most recent** ``capacity`` events,
+  so a long run's memory use is bounded while the interesting tail
+  survives.
+* :class:`JsonlSink` — appends one JSON object per event to a file, the
+  interchange format `python -m repro.trace summarize` and the Chrome
+  exporter read.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.trace.events import TraceEvent
+from repro.util.validation import check_positive_int
+
+__all__ = ["TraceSink", "RingBufferSink", "JsonlSink", "load_events_jsonl"]
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """What the tracer needs from a destination for events."""
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event (must be safe to call from any thread)."""
+        ...
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+        ...
+
+
+class RingBufferSink:
+    """A bounded, thread-safe, in-memory event ring (newest-wins)."""
+
+    def __init__(self, capacity: int = 65_536):
+        check_positive_int(capacity, "capacity")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        """Append one event, evicting the oldest once full."""
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self._dropped += 1
+            self._events.append(event)
+
+    def close(self) -> None:
+        """Nothing to release for the in-memory ring."""
+
+    def events(self) -> list[TraceEvent]:
+        """A consistent snapshot of the buffered events, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted because the ring was full."""
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        """Drop every buffered event (the drop counter survives)."""
+        with self._lock:
+            self._events.clear()
+
+
+class JsonlSink:
+    """Write events as JSON Lines to ``path`` (one object per line)."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._file = self.path.open("w", encoding="utf-8")
+        self._closed = False
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        """Serialize and append one event (dropped after close())."""
+        line = json.dumps(event.to_dict(), separators=(",", ":"))
+        with self._lock:
+            if self._closed:
+                return
+            self._file.write(line + "\n")
+            self.emitted += 1
+
+    def close(self) -> None:
+        """Flush and close the file (idempotent)."""
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        """Context-manager entry: the sink itself."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the file."""
+        self.close()
+
+
+def load_events_jsonl(path: str | Path) -> Iterator[TraceEvent]:
+    """Stream the events back out of a :class:`JsonlSink` file."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield TraceEvent.from_dict(json.loads(line))

@@ -1,0 +1,282 @@
+"""The hierarchical tracer: context-propagated spans over pluggable sinks.
+
+Design constraints (see DESIGN.md, "Tracing"):
+
+* **Near-zero overhead when disabled.**  ``Tracer.span`` checks one
+  attribute and returns a shared no-op context manager; ``instant`` and
+  ``counter`` return immediately.  Hot loops that would pay even for
+  building keyword attributes guard on :attr:`Tracer.enabled` first.
+* **Hierarchy by context, not by plumbing.**  The current span lives in
+  a :class:`contextvars.ContextVar`, so nesting works through ordinary
+  calls, and crossing a thread boundary is explicit: capture
+  ``contextvars.copy_context()`` where the work is submitted and run the
+  task inside it (the prediction service does exactly this, so pool
+  execution spans nest under the request span that submitted them).
+* **Spans are context managers.**  ``with tracer.span("name"):`` is the
+  only sanctioned way to open one — analysis rule REPRO-TRC001 flags
+  bare ``begin()``/``end()`` pairs, which leak the context variable on
+  any exception path.
+
+The module-level :data:`TRACER` is the processwide default every
+instrumented component emits to; experiments and tests attach sinks via
+:meth:`Tracer.enable` and detach them with :meth:`Tracer.disable`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextvars import ContextVar
+from typing import Any
+
+from repro.trace.events import BEGIN, COUNTER, END, INSTANT, TraceEvent
+from repro.trace.sinks import TraceSink
+from repro.util.clock import SYSTEM_CLOCK, Clock
+
+__all__ = ["Span", "Tracer", "TRACER"]
+
+# The innermost open span of the current logical context (None = root).
+_CURRENT_SPAN: ContextVar["Span | None"] = ContextVar("repro_trace_span", default=None)
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Discard the attribute (tracing is disabled)."""
+
+    @property
+    def span_id(self) -> int:
+        """No-op spans have no identity."""
+        return 0
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One timed, attributed node of the trace tree.
+
+    Open it with ``with``; ``begin``/``end`` exist as the underlying
+    state machine (and for the REPRO-TRC001 fixtures) but calling them
+    bare is a lint finding — an exception between them leaks the
+    context variable and orphans every later span in the thread.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "start_us",
+        "_tracer",
+        "_thread_id",
+        "_token",
+        "_ended",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]):
+        self.name = name
+        self.attributes = attributes
+        self.span_id = 0
+        self.parent_id = 0
+        self.start_us = 0.0
+        self._tracer = tracer
+        self._thread_id = 0
+        self._token = None
+        self._ended = False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach/overwrite one attribute (appears on the end event)."""
+        self.attributes[key] = value
+
+    def begin(self) -> "Span":
+        """Open the span: allocate an id, link the parent, emit ``begin``."""
+        tracer = self._tracer
+        parent = _CURRENT_SPAN.get()
+        self.parent_id = parent.span_id if parent is not None else 0
+        self.span_id = tracer._next_span_id()
+        self._thread_id = tracer._thread_number()
+        self.start_us = tracer._now_us()
+        self._token = _CURRENT_SPAN.set(self)
+        tracer._emit(
+            TraceEvent(
+                kind=BEGIN,
+                name=self.name,
+                ts_us=self.start_us,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                thread_id=self._thread_id,
+            )
+        )
+        return self
+
+    def end(self) -> None:
+        """Close the span: emit ``end`` with the duration and attributes."""
+        if self._ended:
+            return
+        self._ended = True
+        tracer = self._tracer
+        if self._token is not None:
+            try:
+                _CURRENT_SPAN.reset(self._token)
+            except ValueError:  # ended in a different context: best effort
+                pass
+            self._token = None
+        tracer._emit(
+            TraceEvent(
+                kind=END,
+                name=self.name,
+                ts_us=self.start_us,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                thread_id=self._thread_id,
+                dur_us=tracer._now_us() - self.start_us,
+                attributes=self.attributes,
+            )
+        )
+
+    def __enter__(self) -> "Span":
+        """The sanctioned opening: ``with tracer.span(...) as span:``."""
+        return self.begin()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        """Close the span; a raised exception is recorded as an attribute."""
+        if exc_type is not None:
+            self.attributes["error"] = exc_type.__name__
+        self.end()
+        return False
+
+
+class Tracer:
+    """Emits structured events to attached sinks; disabled by default."""
+
+    def __init__(self, *, clock: Clock = SYSTEM_CLOCK, sinks: tuple[TraceSink, ...] = ()):
+        self._clock = clock
+        self._epoch_s = clock.perf_s()
+        self._sinks: tuple[TraceSink, ...] = tuple(sinks)
+        self._enabled: bool = bool(self._sinks)
+        self._lock = threading.Lock()
+        self._last_span_id = 0
+        self._thread_numbers: dict[int, int] = {}
+
+    # -- configuration ---------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether events are being recorded (the hot-path guard)."""
+        return self._enabled
+
+    def enable(self, *sinks: TraceSink) -> None:
+        """Attach ``sinks`` (in addition to existing ones) and start recording."""
+        self._sinks = self._sinks + tuple(sinks)
+        self._enabled = True
+
+    def disable(self) -> list[TraceSink]:
+        """Stop recording; close and detach every sink (returned for inspection)."""
+        self._enabled = False
+        detached, self._sinks = self._sinks, ()
+        for sink in detached:
+            sink.close()
+        return list(detached)
+
+    def detach(self, sink: TraceSink) -> None:
+        """Close and remove one sink; recording continues on any others.
+
+        Lets a scoped consumer (e.g. the ``tracing`` experiment's ring
+        buffer) piggyback on an already-enabled tracer without tearing
+        down the outer sinks. Detaching the last sink disables the
+        tracer; detaching a sink that is not attached is a no-op.
+        """
+        remaining = tuple(s for s in self._sinks if s is not sink)
+        if len(remaining) == len(self._sinks):
+            return
+        self._sinks = remaining
+        sink.close()
+        if not remaining:
+            self._enabled = False
+
+    # -- event API -------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Span | _NoopSpan:
+        """A new span, to be opened with ``with``; no-op while disabled."""
+        if not self._enabled:
+            return _NOOP_SPAN
+        return Span(self, name, attributes)
+
+    def instant(self, name: str, **attributes: Any) -> None:
+        """A point event attached to the current span; no-op while disabled."""
+        if not self._enabled:
+            return
+        current = _CURRENT_SPAN.get()
+        self._emit(
+            TraceEvent(
+                kind=INSTANT,
+                name=name,
+                ts_us=self._now_us(),
+                span_id=current.span_id if current is not None else 0,
+                parent_id=current.parent_id if current is not None else 0,
+                thread_id=self._thread_number(),
+                attributes=attributes,
+            )
+        )
+
+    def counter(self, name: str, value: float, **attributes: Any) -> None:
+        """A named numeric sample; no-op while disabled."""
+        if not self._enabled:
+            return
+        current = _CURRENT_SPAN.get()
+        self._emit(
+            TraceEvent(
+                kind=COUNTER,
+                name=name,
+                ts_us=self._now_us(),
+                span_id=current.span_id if current is not None else 0,
+                thread_id=self._thread_number(),
+                value=float(value),
+                attributes=attributes,
+            )
+        )
+
+    @staticmethod
+    def current_span() -> Span | None:
+        """The innermost open span of this logical context, if any."""
+        return _CURRENT_SPAN.get()
+
+    # -- internals -------------------------------------------------------------
+
+    def _now_us(self) -> float:
+        """Microseconds since this tracer's epoch (its construction)."""
+        return (self._clock.perf_s() - self._epoch_s) * 1e6
+
+    def _next_span_id(self) -> int:
+        """Allocate a process-unique positive span id."""
+        with self._lock:
+            self._last_span_id += 1
+            return self._last_span_id
+
+    def _thread_number(self) -> int:
+        """A small stable per-thread number (nicer than raw idents)."""
+        ident = threading.get_ident()
+        with self._lock:
+            number = self._thread_numbers.get(ident)
+            if number is None:
+                number = len(self._thread_numbers) + 1
+                self._thread_numbers[ident] = number
+            return number
+
+    def _emit(self, event: TraceEvent) -> None:
+        """Fan one event out to every attached sink."""
+        for sink in self._sinks:
+            sink.emit(event)
+
+
+#: The processwide default tracer every instrumented component emits to.
+TRACER = Tracer()

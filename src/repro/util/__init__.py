@@ -8,6 +8,7 @@ from repro.util.errors import (
     SimulationError,
     ValidationError,
 )
+from repro.util.clock import SYSTEM_CLOCK, Clock, FakeClock
 from repro.util.floats import DEFAULT_ABS_TOL, floats_equal, is_negligible
 from repro.util.rng import RngStreams, spawn_rng
 from repro.util.units import (
@@ -27,6 +28,9 @@ __all__ = [
     "ValidationError",
     "RngStreams",
     "spawn_rng",
+    "Clock",
+    "FakeClock",
+    "SYSTEM_CLOCK",
     "DEFAULT_ABS_TOL",
     "floats_equal",
     "is_negligible",

@@ -1,0 +1,71 @@
+"""Injectable monotonic/perf clocks shared by timing and tracing code.
+
+Every component that measures wall-clock time (the serving layer, the
+load generator, the layered solver, the tracer) reads it through a
+:class:`Clock` instance instead of calling :func:`time.perf_counter` /
+:func:`time.monotonic` directly.  That buys two things:
+
+* **fakeability** — :class:`FakeClock` makes TTL expiry, deadlines and
+  span durations exactly testable, with no sleeping and no flaky
+  tolerance margins;
+* **consistency** — the tracer and the instrumented components share one
+  time source, so span durations and the measurements inside them agree.
+
+``perf_s`` is the high-resolution timer for *durations* (intervals
+between two reads on the same clock); ``monotonic_s`` is the coarser
+monotonic timestamp for *ages* (cache TTLs).  On the real clock they map
+to :func:`time.perf_counter` and :func:`time.monotonic`; a fake clock
+drives both from one hand-advanced value so the distinction never skews
+a test.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.util.validation import check_non_negative
+
+__all__ = ["Clock", "FakeClock", "SYSTEM_CLOCK"]
+
+
+class Clock:
+    """The real monotonic/perf clock (stateless; share the singleton)."""
+
+    def perf_s(self) -> float:
+        """High-resolution timestamp (seconds) for measuring durations."""
+        return time.perf_counter()
+
+    def monotonic_s(self) -> float:
+        """Monotonic timestamp (seconds) for ages and TTLs."""
+        return time.monotonic()
+
+
+class FakeClock(Clock):
+    """A hand-advanced clock for deterministic timing tests.
+
+    Both timestamp methods read the same value, so code mixing
+    ``perf_s`` durations with ``monotonic_s`` ages stays consistent
+    under test.  Not thread-safe: advance it from the test thread only.
+    """
+
+    def __init__(self, start_s: float = 0.0):
+        check_non_negative(start_s, "start_s")
+        self._now_s = float(start_s)
+
+    def perf_s(self) -> float:
+        """Current fake time (seconds)."""
+        return self._now_s
+
+    def monotonic_s(self) -> float:
+        """Current fake time (seconds)."""
+        return self._now_s
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds``; returns the new time."""
+        check_non_negative(seconds, "seconds")
+        self._now_s += seconds
+        return self._now_s
+
+
+#: The shared real clock; pass a :class:`FakeClock` instead in tests.
+SYSTEM_CLOCK = Clock()

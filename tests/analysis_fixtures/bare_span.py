@@ -1,0 +1,15 @@
+"""Positive fixture for REPRO-TRC001: a hand-driven span lifecycle.
+
+If ``model.solve()`` raises, ``span.end()`` on the success path is
+skipped and the span leaks — exactly the defect the rule patrols.
+"""
+
+from repro.trace import TRACER
+
+
+def solve_traced(model):
+    span = TRACER.span("solve", kind="lqn")  # REPRO-TRC001: not a with item
+    span.begin()  # REPRO-TRC001: bare lifecycle call
+    result = model.solve()
+    span.end()  # REPRO-TRC001: skipped if solve() raised
+    return result

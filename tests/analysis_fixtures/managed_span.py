@@ -1,0 +1,10 @@
+"""Negative fixture for REPRO-TRC001: the sanctioned span idiom."""
+
+from repro.trace import TRACER
+
+
+def solve_traced(model):
+    with TRACER.span("solve", kind="lqn") as span:
+        result = model.solve()
+        span.set_attribute("ok", True)
+        return result

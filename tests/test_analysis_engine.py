@@ -63,6 +63,7 @@ class TestEngine:
             "REPRO-FLT001",
             "REPRO-MUT001",
             "REPRO-API001",
+            "REPRO-TRC001",
         }
 
 

@@ -313,3 +313,96 @@ class TestPublicApi:
             """,
         )
         assert found == []
+
+
+class TestTraceDiscipline:
+    def test_bare_span_fixture_findings(self):
+        engine = AnalysisEngine(resolve_rules(["trace-discipline"]))
+        found = engine.analyze_file(FIXTURES / "bare_span.py")
+        assert [f.rule_id for f in found] == ["REPRO-TRC001"] * 3
+        assert [f.symbol for f in found] == [
+            "TRACER.span",
+            "span.begin",
+            "span.end",
+        ]
+        assert {f.severity for f in found} == {Severity.ERROR}
+
+    def test_managed_span_fixture_is_silent(self):
+        engine = AnalysisEngine(resolve_rules(["trace-discipline"]))
+        assert engine.analyze_file(FIXTURES / "managed_span.py") == []
+
+    def test_with_block_span_is_the_sanctioned_idiom(self):
+        found = findings_for(
+            "trace-discipline",
+            """
+            from repro.trace import TRACER
+
+            def f(model):
+                with TRACER.span("solve") as span:
+                    span.set_attribute("ok", True)
+                    return model.solve()
+            """,
+        )
+        assert found == []
+
+    def test_stored_span_call_is_flagged(self):
+        found = findings_for(
+            "trace-discipline",
+            """
+            from repro.trace import TRACER
+
+            def f():
+                handle = TRACER.span("solve")
+                return handle
+            """,
+        )
+        assert [f.symbol for f in found] == ["TRACER.span"]
+
+    def test_instance_tracer_attribute_is_flagged(self):
+        found = findings_for(
+            "trace-discipline",
+            """
+            class C:
+                def f(self):
+                    s = self._tracer.span("work")
+                    return s
+            """,
+        )
+        assert [f.symbol for f in found] == ["_tracer.span"]
+
+    def test_lifecycle_chained_off_span_call_is_flagged(self):
+        found = findings_for(
+            "trace-discipline",
+            """
+            from repro.trace import TRACER
+
+            def f():
+                TRACER.span("solve").begin()
+            """,
+        )
+        # The span(...) call is a with-less open AND begin() drives it bare.
+        assert {f.symbol for f in found} == {"TRACER.span", "span.begin"}
+
+    def test_regex_match_end_is_not_a_span(self):
+        found = findings_for(
+            "trace-discipline",
+            """
+            import re
+
+            def f(text):
+                m = re.search(r"x+", text)
+                return m.end() if m else -1
+            """,
+        )
+        assert found == []
+
+    def test_tracer_package_is_exempt(self):
+        found = findings_for(
+            "trace-discipline",
+            """
+            def close(span):
+                span.end()
+            """,
+            path="src/repro/trace/tracer.py",
+        )
+        assert found == []

@@ -62,6 +62,7 @@ def test_experiment_registry_complete():
         "delay",
         "recalibration",
         "serving",
+        "tracing",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,201 @@
+"""Tests for the repro.trace core: tracer, spans, sinks, Chrome export."""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import threading
+
+from repro.trace import (
+    TRACER,
+    JsonlSink,
+    RingBufferSink,
+    TraceEvent,
+    Tracer,
+    chrome_trace_events,
+    load_events_jsonl,
+    write_chrome_trace,
+)
+from repro.trace.events import BEGIN, COUNTER, END, INSTANT
+from repro.util.clock import FakeClock
+
+
+def traced(clock=None):
+    """A fresh enabled tracer + ring sink (never the global TRACER)."""
+    sink = RingBufferSink()
+    tracer = Tracer(clock=clock or FakeClock(), sinks=(sink,))
+    return tracer, sink
+
+
+class TestDisabledFastPath:
+    def test_global_tracer_defaults_disabled(self):
+        assert not TRACER.enabled
+
+    def test_disabled_span_is_the_shared_noop(self):
+        # Receiver deliberately not named "tracer": REPRO-TRC001 would flag
+        # these with-less span() calls, which are the very thing under test.
+        t = Tracer(clock=FakeClock())
+        a = t.span("x", attr=1)
+        b = t.span("y")
+        assert a is b  # one shared instance: no allocation per call
+        with a as opened:
+            opened.set_attribute("k", "v")  # discarded, no error
+        assert a.span_id == 0
+
+    def test_disabled_instants_and_counters_emit_nothing(self):
+        sink = RingBufferSink()
+        tracer = Tracer(clock=FakeClock())
+        tracer.instant("i", k=1)
+        tracer.counter("c", 2.0)
+        assert sink.events() == []
+
+    def test_disable_closes_and_returns_sinks(self):
+        tracer, sink = traced()
+        with tracer.span("x"):
+            pass
+        detached = tracer.disable()
+        assert detached == [sink]
+        assert not tracer.enabled
+        tracer.instant("dropped")
+        assert [e.name for e in sink.events()] == ["x", "x"]
+
+    def test_detach_removes_one_sink_and_keeps_recording(self):
+        first, second = RingBufferSink(), RingBufferSink()
+        tracer = Tracer(clock=FakeClock(), sinks=(first, second))
+        tracer.instant("both")
+        tracer.detach(first)
+        tracer.instant("second-only")
+        assert [e.name for e in first.events()] == ["both"]
+        assert [e.name for e in second.events()] == ["both", "second-only"]
+        assert tracer.enabled
+        tracer.detach(first)  # already gone: no-op
+        tracer.detach(second)  # last sink out: tracer disables itself
+        assert not tracer.enabled
+
+
+class TestSpans:
+    def test_span_emits_begin_and_end_with_duration(self):
+        clock = FakeClock()
+        tracer, sink = traced(clock)
+        with tracer.span("solve", model="trade") as span:
+            clock.advance(0.25)
+            span.set_attribute("iterations", 7)
+        begin, end = sink.events()
+        assert (begin.kind, end.kind) == (BEGIN, END)
+        assert begin.name == end.name == "solve"
+        assert begin.span_id == end.span_id > 0
+        assert end.dur_us == 250_000.0
+        assert end.attributes == {"model": "trade", "iterations": 7}
+
+    def test_nesting_links_parent_ids(self):
+        tracer, sink = traced()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+        inner_begin = [e for e in sink.events() if e.kind == BEGIN][1]
+        assert inner_begin.name == "inner"
+        assert inner_begin.parent_id == outer.span_id
+
+    def test_exception_records_error_attribute_and_still_ends(self):
+        tracer, sink = traced()
+        try:
+            with tracer.span("risky"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        end = [e for e in sink.events() if e.kind == END][0]
+        assert end.attributes["error"] == "ValueError"
+        assert tracer.current_span() is None
+
+    def test_end_is_idempotent(self):
+        tracer, sink = traced()
+        with tracer.span("once") as handle:
+            pass
+        handle.end()  # second close: no duplicate END event
+        assert [e.kind for e in sink.events()] == [BEGIN, END]
+
+    def test_instant_attaches_to_current_span(self):
+        tracer, sink = traced()
+        with tracer.span("outer") as outer:
+            tracer.instant("tick", delta=0.5)
+        instant = [e for e in sink.events() if e.kind == INSTANT][0]
+        assert instant.span_id == outer.span_id
+        assert instant.attributes == {"delta": 0.5}
+
+    def test_counter_event(self):
+        tracer, sink = traced()
+        tracer.counter("queue_depth", 3)
+        event = sink.events()[0]
+        assert (event.kind, event.value) == (COUNTER, 3.0)
+
+    def test_copied_context_nests_across_threads(self):
+        """The service's pool-submission pattern: copy_context at submit."""
+        tracer, sink = traced()
+        with tracer.span("request") as request:
+            ctx = contextvars.copy_context()
+
+            def task():
+                with tracer.span("execute"):
+                    pass
+
+            worker = threading.Thread(target=lambda: ctx.run(task))
+            worker.start()
+            worker.join()
+        execute_begin = [e for e in sink.events() if e.name == "execute"][0]
+        assert execute_begin.parent_id == request.span_id
+        assert execute_begin.thread_id != 0
+
+
+class TestSinks:
+    def test_ring_buffer_bounds_and_counts_drops(self):
+        sink = RingBufferSink(capacity=3)
+        tracer = Tracer(clock=FakeClock(), sinks=(sink,))
+        for i in range(5):
+            tracer.instant(f"e{i}")
+        assert [e.name for e in sink.events()] == ["e2", "e3", "e4"]
+        assert sink.dropped == 2
+        sink.clear()
+        assert sink.events() == []
+        assert sink.dropped == 2  # the drop counter survives a clear()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        clock = FakeClock()
+        with JsonlSink(path) as sink:
+            tracer = Tracer(clock=clock, sinks=(sink,))
+            with tracer.span("solve", n=400):
+                clock.advance(0.01)
+                tracer.instant("tick")
+        events = list(load_events_jsonl(path))
+        assert [e.kind for e in events] == [BEGIN, INSTANT, END]
+        assert events[-1].attributes == {"n": 400}
+        assert all(isinstance(e, TraceEvent) for e in events)
+
+
+class TestChromeExport:
+    def test_export_is_valid_trace_event_json(self, tmp_path):
+        clock = FakeClock()
+        tracer, sink = traced(clock)
+        with tracer.span("outer"):
+            clock.advance(0.002)
+            tracer.instant("mark")
+            tracer.counter("depth", 2)
+        path = tmp_path / "trace_chrome.json"
+        count = write_chrome_trace(sink.events(), path)
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        phases = [e["ph"] for e in payload["traceEvents"]]
+        assert count == len(phases) == 4
+        assert sorted(phases) == ["B", "C", "E", "i"]
+        for entry in payload["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(entry)
+
+    def test_end_timestamp_is_begin_plus_duration(self):
+        clock = FakeClock()
+        tracer, sink = traced(clock)
+        with tracer.span("solve"):
+            clock.advance(0.5)
+        begin_json, end_json = chrome_trace_events(sink.events())
+        assert end_json["ts"] - begin_json["ts"] == 500_000.0

@@ -1,0 +1,47 @@
+"""Tests for the injectable clock (repro.util.clock)."""
+
+import pytest
+
+from repro.util.clock import SYSTEM_CLOCK, Clock, FakeClock
+from repro.util.errors import ValidationError
+
+
+class TestClock:
+    def test_system_clock_is_monotonic(self):
+        a = SYSTEM_CLOCK.perf_s()
+        b = SYSTEM_CLOCK.perf_s()
+        assert b >= a
+        assert SYSTEM_CLOCK.monotonic_s() <= SYSTEM_CLOCK.monotonic_s()
+
+    def test_singleton_is_a_plain_clock(self):
+        assert type(SYSTEM_CLOCK) is Clock
+
+
+class TestFakeClock:
+    def test_starts_at_given_time_and_advances(self):
+        clock = FakeClock(start_s=5.0)
+        assert clock.perf_s() == 5.0
+        assert clock.advance(2.5) == 7.5
+        assert clock.perf_s() == 7.5
+
+    def test_perf_and_monotonic_read_the_same_hand(self):
+        clock = FakeClock()
+        clock.advance(1.25)
+        assert clock.perf_s() == clock.monotonic_s() == 1.25
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValidationError):
+            FakeClock(start_s=-1.0)
+        with pytest.raises(ValidationError):
+            FakeClock().advance(-0.1)
+
+    def test_is_substitutable_for_clock(self):
+        def measure(clock: Clock) -> float:
+            start = clock.perf_s()
+            clock_advance = getattr(clock, "advance", None)
+            if clock_advance is not None:
+                clock_advance(0.5)
+            return clock.perf_s() - start
+
+        assert measure(FakeClock()) == 0.5
+        assert measure(SYSTEM_CLOCK) >= 0.0
