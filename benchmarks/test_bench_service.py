@@ -50,20 +50,33 @@ def test_bench_service_warm(benchmark, predictors, method):
 
 
 def test_bench_service_warm_lqn_at_least_10x_faster_than_cold(predictors):
-    """The acceptance floor, asserted directly from wall-clock timings."""
+    """The acceptance floor, asserted from an in-run ratio baseline.
+
+    Both sides of the ratio are minima over repeated measurements taken
+    in the same process: the *fastest* cold solve (several distinct
+    operating points) over the *fastest* warm batch.  A single cold
+    sample is at the mercy of one scheduler hiccup; the min-vs-min ratio
+    is stable because OS noise only ever inflates timings.
+    """
     import time
 
     _, lqn, _, _ = predictors
     with PredictionService(lqn) as service:
-        start = time.perf_counter()
-        service.predict_mrt_ms("AppServS", 911)
-        cold = time.perf_counter() - start
-        repeats = 100
-        start = time.perf_counter()
-        for _ in range(repeats):
-            service.predict_mrt_ms("AppServS", 911)
-        warm = (time.perf_counter() - start) / repeats
-    assert cold / warm >= 10.0, (cold, warm)
+        cold_samples = []
+        for n_clients in (907, 911, 919, 929, 937):
+            start = time.perf_counter()
+            service.predict_mrt_ms("AppServS", n_clients)
+            cold_samples.append(time.perf_counter() - start)
+        cold = min(cold_samples)
+        warm_samples = []
+        batch = 100
+        for _ in range(5):
+            start = time.perf_counter()
+            for _ in range(batch):
+                service.predict_mrt_ms("AppServS", 911)
+            warm_samples.append((time.perf_counter() - start) / batch)
+        warm = min(warm_samples)
+    assert cold / warm >= 10.0, (cold_samples, warm_samples)
 
 
 @pytest.mark.parametrize("threads", [1, 4, 16])

@@ -39,6 +39,7 @@ EXPERIMENTS: dict[str, str] = {
     "recalibration": "repro.experiments.recalibration",
     "serving": "repro.experiments.serving",
     "tracing": "repro.experiments.tracing",
+    "chaos": "repro.experiments.chaos",
 }
 
 

@@ -1,0 +1,185 @@
+"""Declarative fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is data, not code — a named, seeded schedule of
+:class:`FaultSpec` entries that the :class:`~repro.faults.injector.
+FaultInjector` interprets at the injection sites threaded through the
+stack.  Keeping plans declarative buys the chaos experiment its two key
+properties: plans are trivially serializable into the recovery report
+(so a CI diff shows *what* was injected, not just what happened), and
+every stochastic decision is attributable to a named
+:func:`~repro.util.rng.spawn_rng` sub-stream of the plan seed.
+
+The four fault kinds map onto the four ways the serving stack can be
+hurt:
+
+=========  ==================================================
+kind       effect at the injection site
+=========  ==================================================
+ERROR      raise ``spec.error(spec.message)``
+LATENCY    delay ``spec.delay_s`` (via the injector's sleeper)
+TRIP       flip a site-specific degradation switch (forced
+           cache expiry, forced admission rejection)
+CORRUPT    pass the site's value through ``spec.corrupt``
+=========  ==================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.util.validation import check_fraction, check_non_negative, require
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """What happens when a fault spec's trigger fires."""
+
+    ERROR = "error"
+    LATENCY = "latency"
+    TRIP = "trip"
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault: a site, a kind, and a (conjunctive) trigger.
+
+    Trigger fields compose with AND semantics — a spec with both
+    ``call_window`` and ``probability`` fires only on calls inside the
+    window that also win the seeded coin flip.  A spec with no trigger
+    fields fires on every consultation of its site.
+
+    ``every_nth`` counts consultations of this spec (fire on calls n,
+    2n, 3n, …); ``on_calls`` names exact 1-based call numbers;
+    ``call_window`` is an inclusive ``(first, last)`` call range
+    (``None`` as last = open-ended); ``time_window`` is a
+    ``[start_s, end_s)`` window on the injector's clock, measured from
+    the moment the plan was armed.
+    """
+
+    site: str
+    kind: FaultKind
+    name: str = ""
+    # -- effect parameters ----------------------------------------------------
+    error: type[Exception] | None = None
+    message: str = "injected fault"
+    delay_s: float = 0.0
+    corrupt: Callable[[Any], Any] | None = None
+    # -- trigger parameters ---------------------------------------------------
+    every_nth: int | None = None
+    on_calls: tuple[int, ...] | None = None
+    call_window: tuple[int, int | None] | None = None
+    probability: float | None = None
+    time_window: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        """Validate the spec and default its name from the site."""
+        require(bool(self.site), "site must be non-empty")
+        if not self.name:
+            object.__setattr__(self, "name", f"{self.site}:{self.kind.value}")
+        if self.kind is FaultKind.LATENCY:
+            require(self.delay_s > 0.0, "LATENCY specs need delay_s > 0")
+        else:
+            check_non_negative(self.delay_s, "delay_s")
+        if self.kind is FaultKind.CORRUPT:
+            require(self.corrupt is not None, "CORRUPT specs need a corrupt callable")
+        if self.every_nth is not None:
+            require(self.every_nth >= 1, "every_nth must be >= 1")
+        if self.on_calls is not None:
+            require(
+                len(self.on_calls) > 0 and all(n >= 1 for n in self.on_calls),
+                "on_calls must name 1-based call numbers",
+            )
+        if self.call_window is not None:
+            first, last = self.call_window
+            require(first >= 1, "call_window must start at call 1 or later")
+            require(
+                last is None or last >= first,
+                "call_window must be an inclusive (first, last) range",
+            )
+        if self.probability is not None:
+            check_fraction(self.probability, "probability")
+        if self.time_window is not None:
+            start_s, end_s = self.time_window
+            check_non_negative(start_s, "time_window start")
+            require(end_s > start_s, "time_window must be a non-empty [start, end)")
+
+    def make_error(self) -> Exception:
+        """Instantiate this spec's exception (used by ERROR triggers)."""
+        from repro.faults.injector import InjectedFaultError
+
+        error_type = self.error if self.error is not None else InjectedFaultError
+        return error_type(f"{self.message} [{self.name}]")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded schedule of fault specs plus its documented promise.
+
+    ``error_rate_ceiling`` is the plan's contract with the chaos
+    experiment: the fraction of load-generator requests that may fail
+    outright (no answer at all) while this plan is armed.  A plan aimed
+    at a service with a registered fallback documents ``0.0`` — every
+    degraded request must still be answered — and the chaos report
+    asserts the measured rate against it.
+    """
+
+    name: str
+    specs: tuple[FaultSpec, ...]
+    seed: int = 0
+    error_rate_ceiling: float = 0.0
+    description: str = ""
+    # Derived site index, built once in __post_init__.
+    _by_site: dict[str, tuple[FaultSpec, ...]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        """Validate uniqueness and index the specs by site."""
+        require(bool(self.name), "plan name must be non-empty")
+        require(len(self.specs) > 0, "a fault plan needs at least one spec")
+        check_fraction(self.error_rate_ceiling, "error_rate_ceiling")
+        names = [spec.name for spec in self.specs]
+        require(
+            len(set(names)) == len(names),
+            f"fault spec names must be unique, got {sorted(names)}",
+        )
+        by_site: dict[str, list[FaultSpec]] = {}
+        for spec in self.specs:
+            by_site.setdefault(spec.site, []).append(spec)
+        object.__setattr__(
+            self, "_by_site", {site: tuple(specs) for site, specs in by_site.items()}
+        )
+
+    def for_site(self, site: str) -> tuple[FaultSpec, ...]:
+        """The specs scheduled at ``site`` (empty when none)."""
+        return self._by_site.get(site, ())
+
+    def sites(self) -> list[str]:
+        """Every injection site this plan touches, sorted."""
+        return sorted(self._by_site)
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-friendly rendering for recovery reports."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "error_rate_ceiling": self.error_rate_ceiling,
+            "specs": [
+                {
+                    "name": spec.name,
+                    "site": spec.site,
+                    "kind": spec.kind.value,
+                    "delay_s": spec.delay_s,
+                    "every_nth": spec.every_nth,
+                    "on_calls": list(spec.on_calls) if spec.on_calls else None,
+                    "call_window": list(spec.call_window) if spec.call_window else None,
+                    "probability": spec.probability,
+                    "time_window": list(spec.time_window) if spec.time_window else None,
+                }
+                for spec in self.specs
+            ],
+        }

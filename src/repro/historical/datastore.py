@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults.injector import INJECTOR
 from repro.simulation.system import SimulationResult
 from repro.util.errors import CalibrationError
 from repro.util.rng import spawn_rng
@@ -126,6 +127,8 @@ class HistoricalDataStore:
 
         ``buy_fraction=None`` disables mix filtering.
         """
+        if INJECTOR.armed:
+            INJECTOR.fire("historical.datastore")
         points = [
             p
             for p in self._points

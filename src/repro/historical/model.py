@@ -18,6 +18,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.faults.injector import INJECTOR
 from repro.historical.datastore import HistoricalDataPoint, HistoricalDataStore
 from repro.historical.mix import BuyMixModel
 from repro.historical.relationships import (
@@ -252,6 +253,8 @@ class HistoricalModel:
         back through relationship 2's parameter functions (the paper's
         figure 4 procedure).
         """
+        if INJECTOR.armed:
+            INJECTOR.fire("historical.predict")
         check_fraction(buy_fraction, "buy_fraction")
         with self._lock:
             self.predictions_made += 1
@@ -265,6 +268,8 @@ class HistoricalModel:
     ) -> float:
         """Predicted throughput (req/s): linear ramp capped at (mix-adjusted)
         max throughput."""
+        if INJECTOR.armed:
+            INJECTOR.fire("historical.predict")
         check_fraction(buy_fraction, "buy_fraction")
         with self._lock:
             self.predictions_made += 1
@@ -278,6 +283,8 @@ class HistoricalModel:
         self, server: str, mrt_goal_ms: float, *, buy_fraction: float = 0.0
     ) -> int:
         """Closed-form capacity: most clients meeting an SLA goal."""
+        if INJECTOR.armed:
+            INJECTOR.fire("historical.predict")
         check_fraction(buy_fraction, "buy_fraction")
         with self._lock:
             self.predictions_made += 1

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.faults.injector import INJECTOR
 from repro.lqn.model import CallKind, LqnModel, Scheduling, Task
 from repro.lqn.mva import MvaInput, Station, StationKind
 from repro.lqn.results import LqnSolution
@@ -102,6 +103,8 @@ class LqnSolver:
 
     def solve(self, model: LqnModel) -> LqnSolution:
         """Solve ``model`` and return steady-state predictions."""
+        if INJECTOR.armed:
+            INJECTOR.fire("lqn.solve")
         start = self._clock.perf_s()
         with TRACER.span("lqn.solve") as span:
             if self.options.lint_models:

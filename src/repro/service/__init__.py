@@ -15,6 +15,9 @@ service that changes that arithmetic:
   deadlines and transient-error retries with exponential backoff;
 * :mod:`repro.service.metrics` — counters/gauges/latency histograms
   with p50/p95/p99 export, subsuming ``PredictionTimer`` accounting;
+* :mod:`repro.service.breaker` — a clock-injected circuit breaker with
+  an EWMA health score, shielding the fallback path from a primary that
+  is failing repeatedly (exercised by ``repro.faults`` chaos plans);
 * :mod:`repro.service.service` — the :class:`PredictionService` facade
   composing all of the above behind the ``Predictor`` protocol, with
   graceful degradation to a registered fast fallback predictor;
@@ -28,6 +31,12 @@ from repro.service.admission import (
     PredictionTimeoutError,
     ServiceSaturatedError,
     call_with_retries,
+)
+from repro.service.breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
 )
 from repro.service.cache import CacheKey, CacheStats, PredictionCache, quantize_key
 from repro.service.loadgen import LoadGenConfig, LoadGenerator, LoadReport
@@ -54,6 +63,10 @@ __all__ = [
     "ServiceSaturatedError",
     "PredictionTimeoutError",
     "call_with_retries",
+    "BreakerState",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "MetricsRegistry",
     "Counter",
     "Gauge",

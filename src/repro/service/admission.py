@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.faults.injector import INJECTOR
 from repro.util.errors import CalibrationError, ConvergenceError, ReproError
 from repro.util.validation import check_non_negative_int, check_positive_int, require
 
@@ -128,9 +129,15 @@ class AdmissionController:
         self._rejected_total = 0
 
     def try_enter(self) -> bool:
-        """Admit one request if the budget allows; never blocks."""
+        """Admit one request if the budget allows; never blocks.
+
+        A TRIP at the ``service.admission`` chaos site forces a
+        rejection (counted as such), simulating a saturated queue
+        without needing to actually saturate one.
+        """
+        forced_rejection = INJECTOR.armed and INJECTOR.trips("service.admission")
         with self._lock:
-            if self._pending >= self.config.max_pending:
+            if forced_rejection or self._pending >= self.config.max_pending:
                 self._rejected_total += 1
                 return False
             self._pending += 1

@@ -24,6 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
+from repro.faults.injector import INJECTOR
 from repro.util.validation import check_positive_int, require
 
 __all__ = ["CacheKey", "CacheStats", "PredictionCache", "quantize_key"]
@@ -140,8 +141,15 @@ class PredictionCache:
 
         A present-but-expired entry counts as a miss (and one
         expiration) and is removed, so the caller recomputes it.
+
+        Two chaos injection sites live here: a TRIP at
+        ``service.cache.expire`` forces a present entry to be treated as
+        expired, and a CORRUPT at ``service.cache.value`` transforms a
+        hit's value.  Both are consulted *outside* the cache lock so the
+        injector's session lock never nests inside it.
         """
         now = self._clock()
+        forced_expiry = INJECTOR.armed and INJECTOR.trips("service.cache.expire")
         with self._lock:
             self._stats.requests += 1
             entry = self._entries.get(key, _MISS)
@@ -149,14 +157,17 @@ class PredictionCache:
                 self._stats.misses += 1
                 return False, None
             value, stored_at = entry
-            if self._ttl_s is not None and now - stored_at > self._ttl_s:
+            expired = self._ttl_s is not None and now - stored_at > self._ttl_s
+            if forced_expiry or expired:
                 del self._entries[key]
                 self._stats.expirations += 1
                 self._stats.misses += 1
                 return False, None
             self._entries.move_to_end(key)
             self._stats.hits += 1
-            return True, value
+        if INJECTOR.armed:
+            value = INJECTOR.filter("service.cache.value", value)
+        return True, value
 
     def put(self, key: CacheKey, value: Any) -> None:
         """Insert/refresh ``key``, evicting the LRU entry when full."""

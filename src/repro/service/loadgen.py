@@ -18,6 +18,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.service.service import PredictionService
 from repro.util.clock import SYSTEM_CLOCK, Clock
@@ -87,10 +88,16 @@ class LoadGenerator:
         config: LoadGenConfig | None = None,
         *,
         clock: Clock = SYSTEM_CLOCK,
+        on_request: Callable[[int, bool], None] | None = None,
     ):
+        # on_request(completed_count, ok) fires after every request on
+        # the issuing thread.  The chaos experiment uses it (with
+        # threads=1) to advance a FakeClock per request, giving fault
+        # time windows and breaker recovery a deterministic timebase.
         self.service = service
         self.config = config or LoadGenConfig()
         self._clock = clock
+        self._on_request = on_request
         total = sum(w for _, w in self.config.operation_weights)
         self._ops = [op for op, _ in self.config.operation_weights]
         self._probs = [w / total for _, w in self.config.operation_weights]
@@ -120,8 +127,12 @@ class LoadGenerator:
             try:
                 self._one_request(rng)
                 done[index] += 1
+                ok = True
             except Exception:
                 errors[index] += 1
+                ok = False
+            if self._on_request is not None:
+                self._on_request(done[index] + errors[index], ok)
             if self.config.think_time_s > 0.0:
                 time.sleep(self.config.think_time_s)
 

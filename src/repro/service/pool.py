@@ -18,6 +18,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable
 
+from repro.faults.injector import INJECTOR
 from repro.util.validation import check_positive_int
 
 __all__ = ["CoalescingPool", "PoolStats"]
@@ -69,6 +70,12 @@ class CoalescingPool:
         def _run() -> Any:
             with self._lock:
                 self._stats.executed += 1
+            # Chaos site on the worker thread itself: injected latency
+            # here holds the pool slot (unlike latency inside fn, which
+            # a specific predictor may not exercise), and an injected
+            # error surfaces through the future like any worker crash.
+            if INJECTOR.armed:
+                INJECTOR.fire("service.pool")
             return fn()
 
         with self._lock:

@@ -14,9 +14,13 @@ Degradation policy (in the order it is applied):
    registered ``fallback`` predictor immediately (the paper's
    historical method is the natural fallback: closed-form, ~µs); no
    fallback → :class:`~repro.service.admission.ServiceSaturatedError`.
-3. **Transient failure** (``CalibrationError``/``ConvergenceError``)
+3. **Open circuit breaker** (when :attr:`ServiceConfig.breaker` is set)
+   → fallback immediately, without spending a retry budget on a primary
+   known to be failing; no fallback →
+   :class:`~repro.service.breaker.CircuitOpenError`.
+4. **Transient failure** (``CalibrationError``/``ConvergenceError``)
    → bounded retries with exponential backoff, then fallback/raise.
-4. **Deadline miss** → fallback (the abandoned solve still completes on
+5. **Deadline miss** → fallback (the abandoned solve still completes on
    the pool and populates the cache for future requests); no fallback →
    :class:`~repro.service.admission.PredictionTimeoutError`.
 """
@@ -37,6 +41,12 @@ from repro.service.admission import (
     ServiceSaturatedError,
     call_with_retries,
 )
+from repro.service.breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+    CircuitOpenError,
+)
 from repro.service.cache import PredictionCache, quantize_key
 from repro.service.metrics import MetricsRegistry
 from repro.service.pool import CoalescingPool
@@ -56,6 +66,8 @@ class ServiceConfig:
     operand_step: float = 1.0  # cache-grid step for client counts / RT goals
     buy_step: float = 0.01  # cache-grid step for the buy fraction
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    # None = no circuit breaker (every request tries the primary).
+    breaker: BreakerConfig | None = None
 
 
 class PredictionService:
@@ -114,6 +126,15 @@ class PredictionService:
         )
         self.pool = CoalescingPool(max_workers=self.config.max_workers)
         self.admission = AdmissionController(self.config.admission)
+        self.breaker: CircuitBreaker | None = (
+            CircuitBreaker(
+                self.config.breaker,
+                clock=clock,
+                on_transition=self._on_breaker_transition,
+            )
+            if self.config.breaker is not None
+            else None
+        )
 
     # -- Predictor protocol ---------------------------------------------------
 
@@ -227,9 +248,29 @@ class PredictionService:
                 "admission.pending": self.admission.pending,
             }
         )
+        if self.breaker is not None:
+            out.update(
+                {
+                    "breaker.state": self.breaker.state_level,
+                    "breaker.health": self.breaker.health_score,
+                    "breaker.rejected": self.breaker.rejected_total,
+                }
+            )
         return out
 
     # -- the serving path -----------------------------------------------------
+
+    def _on_breaker_transition(
+        self, old: BreakerState, new: BreakerState, at_s: float
+    ) -> None:
+        """Meter and trace every circuit-breaker state change."""
+        self.metrics.counter(f"breaker.to_{new.value}").inc()
+        TRACER.instant(
+            "service.breaker_transition",
+            from_state=old.value,
+            to_state=new.value,
+            at_s=at_s,
+        )
 
     def _degrade(
         self,
@@ -299,6 +340,22 @@ class PredictionService:
                     )
                 TRACER.instant("service.admission", admitted=True)
                 try:
+                    # Breaker check sits after admission so every admitted
+                    # HALF_OPEN probe is matched by a record_* below — all
+                    # downstream paths (computed / timeout / transient)
+                    # report back, so probe slots can never leak.
+                    if self.breaker is not None and not self.breaker.allow():
+                        TRACER.instant("service.breaker", allowed=False)
+                        span.set_attribute("outcome", "degraded.breaker_open")
+                        return self._degrade(
+                            "breaker_open",
+                            fallback_call,
+                            CircuitOpenError(
+                                f"{self.name}: circuit breaker is "
+                                f"{self.breaker.state.value} and no fallback "
+                                f"predictor is registered"
+                            ),
+                        )
 
                     def _task() -> float:
                         with TRACER.span("service.execute", kind=kind, server=server):
@@ -323,9 +380,13 @@ class PredictionService:
                     future = self.pool.submit(key, runner)
                     try:
                         result = future.result(timeout=self.config.admission.timeout_s)
+                        if self.breaker is not None:
+                            self.breaker.record_success()
                         span.set_attribute("outcome", "computed")
                         return result
                     except FutureTimeoutError:
+                        if self.breaker is not None:
+                            self.breaker.record_failure()
                         self.metrics.counter("timeouts").inc()
                         span.set_attribute("outcome", "degraded.timeout")
                         return self._degrade(
@@ -338,6 +399,8 @@ class PredictionService:
                             ),
                         )
                     except TRANSIENT_ERRORS as error:  # survived the retries
+                        if self.breaker is not None:
+                            self.breaker.record_failure()
                         self.metrics.counter("errors").inc()
                         span.set_attribute("outcome", "degraded.error")
                         return self._degrade("error", fallback_call, error)

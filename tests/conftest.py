@@ -14,6 +14,16 @@ from repro.servers.catalogue import APP_SERV_F
 from repro.simulation.system import SimulationConfig
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    """Register the golden-file regeneration flag (see test_experiment_goldens)."""
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current code instead of comparing",
+    )
+
+
 @pytest.fixture(scope="session")
 def tiny_config() -> SimulationConfig:
     """A very short simulation config for functional (non-statistical) tests."""

@@ -1,0 +1,172 @@
+"""Cross-method consistency oracle: the three calibrated prediction methods
+must agree with each other within documented tolerances.
+
+The paper's comparison (fig 2) rests on all three methods modelling the
+*same* system; if a refactor silently breaks one method's calibration,
+its accuracy-vs-measured numbers shift — but slowly, and only in the
+experiments.  These tests are the fast tripwire: they need no simulated
+measurements at all, just the mutual agreement the methods' shared
+subject matter implies.
+
+The tolerances are empirical, measured on the seeded fast calibration,
+and deliberately banded the way fig 2 behaves:
+
+===========  =================  =====================================
+band         load fractions     what holds there
+===========  =================  =====================================
+low          f <= 0.66          every method tracks the same gentle
+                                curve; LQN and hybrid are near-equal
+                                (hybrid defers to LQN off-transition),
+                                and historical-vs-LQN closeness is a
+                                per-server property of how each curve
+                                was obtained (see HIST_LQN_RTOL_LOW)
+knee         0.66 < f < 1.10    the methods genuinely diverge (the
+                                knee is fig 2's whole story); only
+                                order-of-magnitude agreement holds
+saturated    f >= 1.10          all methods climb the same linear
+                                ramp; relative disagreement shrinks
+                                as load grows
+===========  =================  =====================================
+
+Throughput needs no banding: the linear-ramp-with-cap shape is shared
+by construction, so 5 % covers the whole range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenario import EVALUATION_FRACTIONS, build_predictors
+from repro.servers.catalogue import ESTABLISHED_SERVERS, NEW_SERVERS
+
+# -- the documented tolerance table (relative difference, |a-b|/max) ---------
+
+#: LQN vs hybrid, away from the knee: the hybrid defers to the LQN curve.
+LQN_HYBRID_RTOL_LOW = 0.15
+LQN_HYBRID_RTOL_SATURATED = 0.10
+#: Historical vs LQN below the knee, per server.  The two curves come from
+#: different sources — the historical exponential is fitted to (noisy)
+#: measured points per server, the LQN scales CPU demands calibrated on the
+#: reference architecture — so their low-load offset is a per-server
+#: property: small on AppServS (whose relationship-2 curve inherits the
+#: fleet-average fit), up to ~2x on the fast established architectures
+#: where the measured low-load floor sits well above the speed-scaled
+#: service demands.
+HIST_LQN_RTOL_LOW = {"AppServS": 0.20, "AppServF": 0.60, "AppServVF": 0.75}
+#: Deep saturation: every method rides the same m*(n - n_at_max) ramp.
+HIST_LQN_RTOL_SATURATED = 0.80
+#: At the knee only order-of-magnitude agreement is promised.
+KNEE_MAX_RATIO = 12.0
+#: Throughput: linear ramp capped at max throughput, shared by construction.
+THROUGHPUT_RTOL = 0.05
+#: Closed-form vs search-based capacity answers under an SLA goal.
+CAPACITY_RTOL = 0.20
+
+LOW_BAND = tuple(f for f in EVALUATION_FRACTIONS if f <= 0.66)
+KNEE_BAND = tuple(f for f in EVALUATION_FRACTIONS if 0.66 < f < 1.10)
+SATURATED_BAND = tuple(f for f in EVALUATION_FRACTIONS if f >= 1.10)
+
+
+def _rel(a: float, b: float) -> float:
+    return abs(a - b) / max(abs(a), abs(b), 1e-12)
+
+
+@pytest.fixture(scope="module")
+def methods():
+    """The three calibrated predictors plus per-server operating points."""
+    historical, lqn, hybrid, _ = build_predictors(fast=True)
+    n_at_max = {
+        arch.name: historical.model.throughput_model.clients_at_max(arch.name)
+        for arch in ESTABLISHED_SERVERS + NEW_SERVERS
+    }
+    return historical, lqn, hybrid, n_at_max
+
+
+def _clients(n_at_max: float, fractions) -> list[int]:
+    return [max(1, int(round(f * n_at_max))) for f in fractions]
+
+
+ALL_SERVER_NAMES = [a.name for a in ESTABLISHED_SERVERS + NEW_SERVERS]
+
+
+@pytest.mark.parametrize("server", ALL_SERVER_NAMES)
+def test_throughput_methods_agree_everywhere(methods, server):
+    historical, lqn, hybrid, n_at_max = methods
+    for n in _clients(n_at_max[server], EVALUATION_FRACTIONS):
+        h = historical.predict_throughput(server, n)
+        l = lqn.predict_throughput(server, n)
+        y = hybrid.predict_throughput(server, n)
+        assert _rel(h, l) <= THROUGHPUT_RTOL, (server, n, h, l)
+        assert _rel(l, y) <= THROUGHPUT_RTOL, (server, n, l, y)
+
+
+@pytest.mark.parametrize("server", ALL_SERVER_NAMES)
+def test_mrt_lqn_and_hybrid_agree_off_the_knee(methods, server):
+    _, lqn, hybrid, n_at_max = methods
+    for band, rtol in (
+        (LOW_BAND, LQN_HYBRID_RTOL_LOW),
+        (SATURATED_BAND, LQN_HYBRID_RTOL_SATURATED),
+    ):
+        for n in _clients(n_at_max[server], band):
+            l = lqn.predict_mrt_ms(server, n)
+            y = hybrid.predict_mrt_ms(server, n)
+            assert _rel(l, y) <= rtol, (server, n, l, y)
+
+
+@pytest.mark.parametrize("server", ALL_SERVER_NAMES)
+def test_mrt_historical_tracks_lqn_below_knee(methods, server):
+    historical, lqn, _, n_at_max = methods
+    rtol = HIST_LQN_RTOL_LOW[server]
+    for n in _clients(n_at_max[server], LOW_BAND):
+        h = historical.predict_mrt_ms(server, n)
+        l = lqn.predict_mrt_ms(server, n)
+        assert _rel(h, l) <= rtol, (server, n, h, l)
+
+
+@pytest.mark.parametrize("server", ALL_SERVER_NAMES)
+def test_mrt_knee_band_agrees_within_an_order_of_magnitude(methods, server):
+    historical, lqn, hybrid, n_at_max = methods
+    for n in _clients(n_at_max[server], KNEE_BAND):
+        values = [
+            historical.predict_mrt_ms(server, n),
+            lqn.predict_mrt_ms(server, n),
+            hybrid.predict_mrt_ms(server, n),
+        ]
+        assert all(v > 0 for v in values), (server, n, values)
+        assert max(values) / min(values) <= KNEE_MAX_RATIO, (server, n, values)
+
+
+@pytest.mark.parametrize("server", ALL_SERVER_NAMES)
+def test_mrt_saturated_band_converges(methods, server):
+    """In deep saturation the methods agree and keep agreeing better."""
+    historical, lqn, _, n_at_max = methods
+    rels = []
+    for n in _clients(n_at_max[server], SATURATED_BAND):
+        h = historical.predict_mrt_ms(server, n)
+        l = lqn.predict_mrt_ms(server, n)
+        rels.append(_rel(h, l))
+    assert all(r <= HIST_LQN_RTOL_SATURATED for r in rels), (server, rels)
+    assert rels[-1] <= rels[0], (server, rels)  # disagreement shrinks with load
+
+
+@pytest.mark.parametrize("server", ALL_SERVER_NAMES)
+def test_mrt_curves_are_monotone_in_load(methods, server):
+    """Every method predicts a non-decreasing MRT over the fig-2 range."""
+    historical, lqn, hybrid, n_at_max = methods
+    clients = _clients(n_at_max[server], EVALUATION_FRACTIONS)
+    for predictor in (historical, lqn, hybrid):
+        curve = [predictor.predict_mrt_ms(server, n) for n in clients]
+        assert all(b >= a * 0.999 for a, b in zip(curve, curve[1:])), (
+            predictor.name,
+            server,
+            curve,
+        )
+
+
+def test_capacity_answers_agree_on_the_reference_server(methods):
+    """Closed-form (historical) and search (LQN) capacity agree."""
+    historical, lqn, _, _ = methods
+    for goal_ms in (100.0, 500.0):
+        h = historical.max_clients("AppServS", goal_ms)
+        l = lqn.max_clients("AppServS", goal_ms)
+        assert _rel(float(h), float(l)) <= CAPACITY_RTOL, (goal_ms, h, l)

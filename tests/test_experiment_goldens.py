@@ -1,0 +1,127 @@
+"""Golden-file regression tests for the headline experiments.
+
+``fig2`` (the cross-method response-time curves), ``fig6`` (the resource
+manager's usage steps) and ``table1`` (the calibrated historical
+parameters) each have their fast-mode ``data`` payload committed as JSON
+under ``tests/goldens/``.  The tests re-run the experiment and compare
+against the golden recursively, with a relative tolerance on floats so a
+benign numerical wobble (BLAS version, summation order) doesn't fail the
+build while a real calibration change does.
+
+To refresh the goldens after an intentional behaviour change::
+
+    PYTHONPATH=src python -m pytest tests/test_experiment_goldens.py --regen-goldens
+
+which rewrites the files and skips the comparison; commit the diff with
+the change that caused it.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+#: Relative tolerance for float comparisons.  The experiments are seeded
+#: and deterministic in-process, so this only needs to absorb cross-
+#: platform numerical noise, not statistical variation.
+RTOL = 1e-3
+ATOL = 1e-9
+
+GOLDEN_EXPERIMENTS = {
+    "fig2": "repro.experiments.fig2",
+    "fig6": "repro.experiments.fig6",
+    "table1": "repro.experiments.table1",
+}
+
+
+def _normalise(value):
+    """Round-trip through JSON so tuples/lists and int/float unify the
+    same way they do in the committed golden."""
+    return json.loads(json.dumps(value))
+
+
+def _mismatches(actual, expected, path="$"):
+    """Recursively diff two JSON-shaped values, returning human-readable
+    mismatch descriptions (empty list == equal within tolerance)."""
+    problems: list[str] = []
+    if isinstance(expected, dict):
+        if not isinstance(actual, dict):
+            return [f"{path}: expected object, got {type(actual).__name__}"]
+        for key in sorted(set(expected) | set(actual)):
+            if key not in expected:
+                problems.append(f"{path}.{key}: unexpected key")
+            elif key not in actual:
+                problems.append(f"{path}.{key}: missing key")
+            else:
+                problems.extend(_mismatches(actual[key], expected[key], f"{path}.{key}"))
+    elif isinstance(expected, list):
+        if not isinstance(actual, list):
+            return [f"{path}: expected array, got {type(actual).__name__}"]
+        if len(actual) != len(expected):
+            return [f"{path}: length {len(actual)} != {len(expected)}"]
+        for index, (a, e) in enumerate(zip(actual, expected)):
+            problems.extend(_mismatches(a, e, f"{path}[{index}]"))
+    elif isinstance(expected, bool) or expected is None or isinstance(expected, str):
+        if actual != expected:
+            problems.append(f"{path}: {actual!r} != {expected!r}")
+    elif isinstance(expected, (int, float)):
+        if not isinstance(actual, (int, float)) or isinstance(actual, bool):
+            problems.append(f"{path}: {actual!r} is not a number")
+        elif not math.isclose(float(actual), float(expected), rel_tol=RTOL, abs_tol=ATOL):
+            problems.append(f"{path}: {actual!r} != {expected!r} (rtol={RTOL})")
+    elif actual != expected:
+        problems.append(f"{path}: {actual!r} != {expected!r}")
+    return problems
+
+
+def _dump(value) -> str:
+    return json.dumps(value, sort_keys=True, indent=2) + "\n"
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN_EXPERIMENTS))
+def test_experiment_matches_golden(experiment_id, request):
+    """The experiment's fast-mode data payload matches its committed golden."""
+    module = importlib.import_module(GOLDEN_EXPERIMENTS[experiment_id])
+    actual = _normalise(module.run(fast=True).data)
+    golden_path = GOLDEN_DIR / f"{experiment_id}.json"
+
+    if request.config.getoption("--regen-goldens"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(_dump(actual), encoding="utf-8")
+        pytest.skip(f"regenerated {golden_path.name}")
+
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; run with --regen-goldens to create it"
+    )
+    expected = json.loads(golden_path.read_text(encoding="utf-8"))
+    problems = _mismatches(actual, expected)
+    assert not problems, "golden drift for %s:\n%s" % (
+        experiment_id,
+        "\n".join(problems[:20]),
+    )
+
+
+def test_goldens_are_canonically_formatted():
+    """Committed goldens are sorted-key, 2-indent JSON (stable diffs)."""
+    paths = sorted(GOLDEN_DIR.glob("*.json"))
+    assert paths, "no goldens committed under tests/goldens/"
+    for path in paths:
+        text = path.read_text(encoding="utf-8")
+        assert text == _dump(json.loads(text)), f"{path.name} not canonical"
+
+
+def test_comparator_flags_real_drift_but_not_noise():
+    """The tolerance comparator accepts sub-rtol wobble, rejects drift."""
+    golden = {"gradient": 0.14, "rows": [["AppServS", 1.0]], "n": 3}
+    wobble = {"gradient": 0.14 * (1 + RTOL / 2), "rows": [["AppServS", 1.0]], "n": 3}
+    assert not _mismatches(wobble, golden)
+    drift = {"gradient": 0.14 * 1.05, "rows": [["AppServS", 1.0]], "n": 3}
+    assert _mismatches(drift, golden)
+    assert _mismatches({"gradient": 0.14, "rows": [], "n": 3}, golden)
+    assert _mismatches({"gradient": 0.14, "rows": [["X", 1.0]], "n": 3}, golden)

@@ -1,0 +1,329 @@
+"""Unit tests for repro.faults: plans, triggers, injector verbs, scoping."""
+
+import pytest
+
+from repro.faults import (
+    INJECTOR,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFaultError,
+    inject,
+)
+from repro.util.clock import FakeClock
+from repro.util.errors import ConvergenceError, ValidationError
+
+
+def _plan(*specs, seed=0, **kwargs):
+    return FaultPlan(name="t", specs=tuple(specs), seed=seed, **kwargs)
+
+
+# -- FaultSpec / FaultPlan validation -----------------------------------------
+
+
+def test_spec_defaults_name_from_site_and_kind():
+    spec = FaultSpec(site="lqn.solve", kind=FaultKind.ERROR)
+    assert spec.name == "lqn.solve:error"
+
+
+def test_spec_rejects_empty_site_and_bad_triggers():
+    with pytest.raises(ValidationError):
+        FaultSpec(site="", kind=FaultKind.ERROR)
+    with pytest.raises(ValidationError):
+        FaultSpec(site="s", kind=FaultKind.LATENCY)  # needs delay_s > 0
+    with pytest.raises(ValidationError):
+        FaultSpec(site="s", kind=FaultKind.CORRUPT)  # needs corrupt callable
+    with pytest.raises(ValidationError):
+        FaultSpec(site="s", kind=FaultKind.ERROR, every_nth=0)
+    with pytest.raises(ValidationError):
+        FaultSpec(site="s", kind=FaultKind.ERROR, on_calls=(0,))
+    with pytest.raises(ValidationError):
+        FaultSpec(site="s", kind=FaultKind.ERROR, call_window=(0, 5))
+    with pytest.raises(ValidationError):
+        FaultSpec(site="s", kind=FaultKind.ERROR, probability=1.5)
+    with pytest.raises(ValidationError):
+        FaultSpec(site="s", kind=FaultKind.ERROR, time_window=(2.0, 1.0))
+
+
+def test_plan_rejects_duplicate_spec_names_and_empty_specs():
+    spec = FaultSpec(site="s", kind=FaultKind.ERROR)
+    with pytest.raises(ValidationError):
+        _plan(spec, spec)
+    with pytest.raises(ValidationError):
+        FaultPlan(name="t", specs=())
+
+
+def test_plan_indexes_by_site_and_describes_itself():
+    a = FaultSpec(site="a", kind=FaultKind.ERROR, name="x")
+    b = FaultSpec(site="b", kind=FaultKind.TRIP, name="y", every_nth=2)
+    plan = _plan(a, b, seed=7)
+    assert plan.for_site("a") == (a,)
+    assert plan.for_site("nowhere") == ()
+    assert plan.sites() == ["a", "b"]
+    described = plan.describe()
+    assert described["seed"] == 7
+    assert [s["name"] for s in described["specs"]] == ["x", "y"]
+
+
+# -- trigger semantics --------------------------------------------------------
+
+
+def _fires(injector, site, n):
+    """Consult ``site`` ``n`` times; return the boolean fire pattern."""
+    pattern = []
+    for _ in range(n):
+        try:
+            injector.fire(site)
+            pattern.append(False)
+        except Exception:
+            pattern.append(True)
+    return pattern
+
+
+def test_unconditional_spec_fires_every_call():
+    injector = FaultInjector()
+    with inject(_plan(FaultSpec(site="s", kind=FaultKind.ERROR)), injector=injector):
+        assert _fires(injector, "s", 3) == [True, True, True]
+
+
+def test_every_nth_and_on_calls_and_call_window():
+    injector = FaultInjector()
+    plan = _plan(
+        FaultSpec(site="nth", kind=FaultKind.ERROR, every_nth=3),
+        FaultSpec(site="exact", kind=FaultKind.ERROR, on_calls=(2, 5)),
+        FaultSpec(site="window", kind=FaultKind.ERROR, call_window=(3, 4)),
+        FaultSpec(site="open", kind=FaultKind.ERROR, call_window=(4, None)),
+    )
+    with inject(plan, injector=injector):
+        assert _fires(injector, "nth", 6) == [False, False, True, False, False, True]
+        assert _fires(injector, "exact", 6) == [False, True, False, False, True, False]
+        assert _fires(injector, "window", 6) == [False, False, True, True, False, False]
+        assert _fires(injector, "open", 6) == [False, False, False, True, True, True]
+
+
+def test_time_window_follows_the_injected_clock():
+    clock = FakeClock()
+    injector = FaultInjector()
+    plan = _plan(
+        FaultSpec(site="s", kind=FaultKind.ERROR, time_window=(1.0, 2.0))
+    )
+    with inject(plan, injector=injector, clock=clock):
+        assert _fires(injector, "s", 1) == [False]  # t=0
+        clock.advance(1.0)
+        assert _fires(injector, "s", 1) == [True]  # t=1 (inclusive start)
+        clock.advance(1.0)
+        assert _fires(injector, "s", 1) == [False]  # t=2 (exclusive end)
+
+
+def test_probability_trigger_is_deterministic_per_seed():
+    def pattern(seed):
+        injector = FaultInjector()
+        plan = _plan(
+            FaultSpec(site="s", kind=FaultKind.ERROR, probability=0.5), seed=seed
+        )
+        with inject(plan, injector=injector):
+            return _fires(injector, "s", 32)
+
+    first = pattern(11)
+    assert pattern(11) == first  # same seed: same schedule
+    assert pattern(12) != first  # different seed: different schedule
+    assert any(first) and not all(first)  # p=0.5 actually mixes
+
+
+def test_conjunctive_trigger_ands_all_conditions():
+    injector = FaultInjector()
+    plan = _plan(
+        FaultSpec(site="s", kind=FaultKind.ERROR, every_nth=2, call_window=(3, 6))
+    )
+    with inject(plan, injector=injector):
+        # every 2nd call AND inside calls 3..6 -> calls 4 and 6 only.
+        assert _fires(injector, "s", 8) == [
+            False, False, False, True, False, True, False, False,
+        ]
+
+
+# -- injector verbs -----------------------------------------------------------
+
+
+def test_fire_raises_configured_error_type_with_spec_name():
+    injector = FaultInjector()
+    plan = _plan(
+        FaultSpec(
+            site="s", kind=FaultKind.ERROR, error=ConvergenceError, message="boom"
+        )
+    )
+    with inject(plan, injector=injector):
+        with pytest.raises(ConvergenceError, match=r"boom \[s:error\]"):
+            injector.fire("s")
+
+
+def test_fire_default_error_is_injected_fault_error():
+    injector = FaultInjector()
+    with inject(_plan(FaultSpec(site="s", kind=FaultKind.ERROR)), injector=injector):
+        with pytest.raises(InjectedFaultError):
+            injector.fire("s")
+
+
+def test_fire_applies_latency_before_error_via_injected_sleep():
+    clock = FakeClock()
+    injector = FaultInjector()
+    plan = _plan(
+        FaultSpec(site="s", kind=FaultKind.LATENCY, name="slow", delay_s=2.5),
+        FaultSpec(site="s", kind=FaultKind.ERROR, name="dead"),
+    )
+    with inject(plan, injector=injector, clock=clock, sleep=clock.advance):
+        with pytest.raises(InjectedFaultError):
+            injector.fire("s")
+        assert clock.monotonic_s() == pytest.approx(2.5)  # slept, then raised
+
+
+def test_trips_and_filter_verbs():
+    injector = FaultInjector()
+    plan = _plan(
+        FaultSpec(site="t", kind=FaultKind.TRIP, every_nth=2),
+        FaultSpec(site="c", kind=FaultKind.CORRUPT, corrupt=lambda v: v * 10),
+    )
+    with inject(plan, injector=injector):
+        assert [injector.trips("t") for _ in range(4)] == [False, True, False, True]
+        assert injector.filter("c", 7) == 70
+        assert injector.filter("elsewhere", 7) == 7
+
+
+def test_corrupt_chain_applies_in_spec_order():
+    injector = FaultInjector()
+    plan = _plan(
+        FaultSpec(site="c", kind=FaultKind.CORRUPT, name="a", corrupt=lambda v: v + 1),
+        FaultSpec(site="c", kind=FaultKind.CORRUPT, name="b", corrupt=lambda v: v * 2),
+    )
+    with inject(plan, injector=injector):
+        assert injector.filter("c", 3) == 8  # (3 + 1) * 2
+
+
+# -- arming lifecycle ---------------------------------------------------------
+
+
+def test_disarmed_injector_is_inert():
+    injector = FaultInjector()
+    assert not injector.armed
+    injector.fire("anything")  # no-op
+    assert not injector.trips("anything")
+    assert injector.filter("anything", 42) == 42
+    assert injector.plan is None
+    assert injector.injected_counts() == {}
+    assert injector.disarm() == {}
+
+
+def test_disarm_reports_injection_counts():
+    injector = FaultInjector()
+    plan = _plan(FaultSpec(site="s", kind=FaultKind.ERROR, name="x", every_nth=2))
+    injector.arm(plan)
+    _fires(injector, "s", 5)
+    assert injector.injected_counts() == {"x": 2}
+    assert injector.disarm() == {"x": 2}
+    assert not injector.armed
+
+
+def test_rearming_resets_counters():
+    injector = FaultInjector()
+    plan = _plan(FaultSpec(site="s", kind=FaultKind.ERROR, name="x", on_calls=(1,)))
+    injector.arm(plan)
+    assert _fires(injector, "s", 2) == [True, False]
+    injector.arm(plan)  # fresh session: call counters restart
+    assert _fires(injector, "s", 2) == [True, False]
+    injector.disarm()
+
+
+def test_inject_context_manager_disarms_on_error():
+    injector = FaultInjector()
+    plan = _plan(FaultSpec(site="s", kind=FaultKind.ERROR))
+    with pytest.raises(RuntimeError):
+        with inject(plan, injector=injector):
+            raise RuntimeError("escaping the block")
+    assert not injector.armed
+
+
+def test_global_injector_is_disarmed_by_default():
+    assert not INJECTOR.armed
+
+
+# -- the wired injection sites ------------------------------------------------
+
+
+def test_lqn_solver_site_fires():
+    from repro.lqn.builder import (
+        RequestTypeParameters,
+        TradeModelParameters,
+        build_trade_model,
+    )
+    from repro.lqn.solver import LqnSolver
+    from repro.servers.catalogue import APP_SERV_F
+    from repro.workload.trade import typical_workload
+
+    params = TradeModelParameters(
+        request_types={
+            "browse": RequestTypeParameters(
+                name="browse",
+                app_demand_ms=5.4,
+                db_calls=1.1,
+                db_cpu_per_call_ms=0.8,
+                db_disk_per_call_ms=1.2,
+            )
+        }
+    )
+    model = build_trade_model(APP_SERV_F, typical_workload(50), params)
+    solver = LqnSolver()
+    plan = _plan(
+        FaultSpec(site="lqn.solve", kind=FaultKind.ERROR, error=ConvergenceError)
+    )
+    with inject(plan):
+        with pytest.raises(ConvergenceError):
+            solver.solve(model)
+    solver.solve(model)  # disarmed again: solves normally
+
+
+def test_cache_sites_force_expiry_and_corrupt_values():
+    from repro.service.cache import PredictionCache, quantize_key
+
+    cache = PredictionCache()
+    key = quantize_key("srv", "mrt", 100.0, 0.0)
+    cache.put(key, 5.0)
+
+    with inject(_plan(FaultSpec(site="service.cache.expire", kind=FaultKind.TRIP))):
+        hit, _ = cache.get(key)
+    assert not hit  # present entry forcibly expired
+    assert cache.stats().expirations == 1
+
+    cache.put(key, 5.0)
+    plan = _plan(
+        FaultSpec(
+            site="service.cache.value", kind=FaultKind.CORRUPT, corrupt=lambda v: -v
+        )
+    )
+    with inject(plan):
+        hit, value = cache.get(key)
+    assert hit and value == -5.0
+    hit, value = cache.get(key)
+    assert hit and value == 5.0  # stored entry itself was never mutated
+
+
+def test_admission_site_forces_rejection():
+    from repro.service.admission import AdmissionController
+
+    controller = AdmissionController()
+    with inject(_plan(FaultSpec(site="service.admission", kind=FaultKind.TRIP))):
+        assert not controller.try_enter()
+    assert controller.rejected_total == 1
+    assert controller.try_enter()  # disarmed: admits again
+    controller.exit()
+
+
+def test_pool_site_raises_through_the_future():
+    from repro.service.pool import CoalescingPool
+
+    with CoalescingPool(max_workers=1) as pool:
+        with inject(_plan(FaultSpec(site="service.pool", kind=FaultKind.ERROR))):
+            future = pool.submit("k", lambda: 42)
+            with pytest.raises(InjectedFaultError):
+                future.result(timeout=5)
+        assert pool.submit("k2", lambda: 42).result(timeout=5) == 42

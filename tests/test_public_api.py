@@ -63,6 +63,7 @@ def test_experiment_registry_complete():
         "recalibration",
         "serving",
         "tracing",
+        "chaos",
     }
     assert set(EXPERIMENTS) == expected
 
