@@ -60,8 +60,8 @@ def default_fault_plan(fault_window_s: tuple[float, float], *, seed: int) -> Fau
     """The canonical solver-brownout plan over ``fault_window_s``.
 
     Inside the window: every LQN solve raises a (transient, hence
-    retried) :class:`ConvergenceError`; every 4th cache lookup has its
-    entry forcibly expired, keeping pressure on the failing primary
+    retried) :class:`ConvergenceError`; every 4th would-be cache hit has
+    its entry forcibly expired, keeping pressure on the failing primary
     instead of letting warm entries mask the brownout; and every other
     pool execution picks up 4 ticks of injected latency.
     """
@@ -134,6 +134,11 @@ def run(fast: bool = False) -> ExperimentResult:
         lqn,
         fallback=historical,
         config=ServiceConfig(
+            # A coarse cache grid (~11 cells over the 100-1100 client
+            # range) so the seeded stream produces steady would-be hits:
+            # the forced-expiry TRIP is consulted on those only, and
+            # warm entries would otherwise mask the brownout entirely.
+            operand_step=100.0,
             admission=AdmissionConfig(
                 max_retries=1, backoff_initial_s=0.0, timeout_s=30.0
             ),

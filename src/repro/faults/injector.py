@@ -174,8 +174,13 @@ class FaultInjector:
         for spec in session.plan.for_site(site):
             if spec.kind is FaultKind.LATENCY and session.decide(spec):
                 session.sleep(spec.delay_s)
-            elif spec.kind is FaultKind.ERROR and raise_spec is None:
-                if session.decide(spec):
+            elif spec.kind is FaultKind.ERROR:
+                # Every ERROR spec's counter advances even once one has
+                # been chosen to raise (only the first firing spec wins),
+                # mirroring trips(): a spec's every_nth/on_calls schedule
+                # never depends on an earlier spec's outcome, keeping
+                # multi-spec sites deterministic.
+                if session.decide(spec) and raise_spec is None:
                     raise_spec = spec
         if raise_spec is not None:
             raise raise_spec.make_error()

@@ -81,9 +81,11 @@ class CircuitBreaker:
     """A thread-safe three-state circuit breaker with a health score.
 
     Callers bracket the protected operation with :meth:`allow` (before)
-    and :meth:`record_success` / :meth:`record_failure` (after);
-    ``allow() == False`` means degrade immediately without touching the
-    primary.  ``on_transition(old, new, at_s)`` fires outside the lock
+    and exactly one of :meth:`record_success` / :meth:`record_failure` /
+    :meth:`cancel` (after); ``allow() == False`` means degrade
+    immediately without touching the primary, and ``cancel`` is the
+    escape hatch for an admitted caller that never actually attempted
+    the primary.  ``on_transition(old, new, at_s)`` fires outside the lock
     on every state change, which is where the service hangs its metrics
     counters and trace instants.
     """
@@ -194,6 +196,21 @@ class CircuitBreaker:
                     self._transitions.append((now_s, fired[0].value, fired[1].value))
                     self._consecutive_failures = 0
         self._notify(fired, now_s)
+
+    def cancel(self) -> None:
+        """Withdraw an admitted attempt without recording an outcome.
+
+        For callers that :meth:`allow` admitted but that never started a
+        fresh primary execution — in the service, a request whose work
+        coalesced onto an already-in-flight computation (possibly one
+        begun before the circuit even opened).  Hands a HALF_OPEN probe
+        slot back so recorded outcomes stay one-per-execution; a no-op
+        in CLOSED (nothing was reserved) and in OPEN (a probe failure
+        already reset the slots).
+        """
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
 
     def record_failure(self) -> None:
         """Report one failed primary call (transient error or deadline miss)."""

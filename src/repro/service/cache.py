@@ -143,13 +143,18 @@ class PredictionCache:
         expiration) and is removed, so the caller recomputes it.
 
         Two chaos injection sites live here: a TRIP at
-        ``service.cache.expire`` forces a present entry to be treated as
-        expired, and a CORRUPT at ``service.cache.value`` transforms a
-        hit's value.  Both are consulted *outside* the cache lock so the
-        injector's session lock never nests inside it.
+        ``service.cache.expire`` forces a present, unexpired entry to be
+        treated as expired, and a CORRUPT at ``service.cache.value``
+        transforms a hit's value.  Both are consulted *outside* the
+        cache lock so the injector's session lock never nests inside it,
+        which makes the armed lookup two-phase: first find a would-be
+        hit under the lock, then consult the TRIP, then re-take the lock
+        to drop (or serve) it.  Consulting only would-be hits keeps the
+        spec's injected count equal to entries actually forcibly
+        expired — plain misses never advance it.
         """
         now = self._clock()
-        forced_expiry = INJECTOR.armed and INJECTOR.trips("service.cache.expire")
+        armed = INJECTOR.armed
         with self._lock:
             self._stats.requests += 1
             entry = self._entries.get(key, _MISS)
@@ -157,17 +162,30 @@ class PredictionCache:
                 self._stats.misses += 1
                 return False, None
             value, stored_at = entry
-            expired = self._ttl_s is not None and now - stored_at > self._ttl_s
-            if forced_expiry or expired:
+            if self._ttl_s is not None and now - stored_at > self._ttl_s:
                 del self._entries[key]
                 self._stats.expirations += 1
                 self._stats.misses += 1
                 return False, None
-            self._entries.move_to_end(key)
+            if not armed:
+                self._entries.move_to_end(key)
+                self._stats.hits += 1
+                return True, value
+        # Armed second phase: the entry was present and unexpired.
+        if INJECTOR.trips("service.cache.expire"):
+            with self._lock:
+                # Drop the exact entry we saw; a concurrent put() made a
+                # fresh tuple, which the forced expiry then spares.
+                if self._entries.get(key) is entry:
+                    del self._entries[key]
+                self._stats.expirations += 1
+                self._stats.misses += 1
+            return False, None
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
             self._stats.hits += 1
-        if INJECTOR.armed:
-            value = INJECTOR.filter("service.cache.value", value)
-        return True, value
+        return True, INJECTOR.filter("service.cache.value", value)
 
     def put(self, key: CacheKey, value: Any) -> None:
         """Insert/refresh ``key``, evicting the LRU entry when full."""

@@ -66,6 +66,19 @@ class CoalescingPool:
 
     def submit(self, key: Hashable, fn: Callable[[], Any]) -> Future:
         """Run ``fn`` on the pool (or join the in-flight run for ``key``)."""
+        return self.submit_or_join(key, fn)[0]
+
+    def submit_or_join(
+        self, key: Hashable, fn: Callable[[], Any]
+    ) -> tuple[Future, bool]:
+        """Like :meth:`submit`, also reporting which of the two happened.
+
+        Returns ``(future, started)``: ``started`` is True when this
+        call began a fresh execution of ``fn`` and False when it joined
+        a future already in flight for ``key``.  The service uses the
+        flag to charge its circuit breaker exactly once per primary
+        execution rather than once per coalesced waiter.
+        """
 
         def _run() -> Any:
             with self._lock:
@@ -83,7 +96,7 @@ class CoalescingPool:
             existing = self._inflight.get(key)
             if existing is not None:
                 self._stats.coalesced += 1
-                return existing
+                return existing, False
             future = self._executor.submit(_run)
             self._inflight[key] = future
 
@@ -93,7 +106,7 @@ class CoalescingPool:
                     del self._inflight[key]
 
         future.add_done_callback(_forget)
-        return future
+        return future, True
 
     def inflight_count(self) -> int:
         """Number of distinct keys currently being computed."""

@@ -340,10 +340,9 @@ class PredictionService:
                     )
                 TRACER.instant("service.admission", admitted=True)
                 try:
-                    # Breaker check sits after admission so every admitted
-                    # HALF_OPEN probe is matched by a record_* below — all
-                    # downstream paths (computed / timeout / transient)
-                    # report back, so probe slots can never leak.
+                    # Breaker check sits after the cache lookup and
+                    # admission, so hits and preflight rejections never
+                    # charge it.
                     if self.breaker is not None and not self.breaker.allow():
                         TRACER.instant("service.breaker", allowed=False)
                         span.set_attribute("outcome", "degraded.breaker_open")
@@ -377,16 +376,37 @@ class PredictionService:
                         runner: Callable[[], float] = lambda: ctx.run(_task)
                     else:
                         runner = _task
-                    future = self.pool.submit(key, runner)
+                    recorder = self.breaker
+                    # False until exactly one record_*/cancel call has
+                    # settled the allow() above; the finally below covers
+                    # every path that skips the explicit outcomes (a
+                    # non-transient exception out of future.result, a
+                    # failed submission), so HALF_OPEN probe slots cannot
+                    # leak.
+                    recorded = recorder is None
                     try:
+                        future, started = self.pool.submit_or_join(key, runner)
+                        # The breaker is charged exactly once per primary
+                        # *execution*: only the request that started the
+                        # work reports an outcome.  A coalesced join
+                        # piggybacks on work it did not start (possibly
+                        # begun before the circuit even opened), so it
+                        # hands any HALF_OPEN probe slot back and records
+                        # nothing.
+                        if recorder is not None and not started:
+                            recorded = True
+                            recorder.cancel()
+                            recorder = None
                         result = future.result(timeout=self.config.admission.timeout_s)
-                        if self.breaker is not None:
-                            self.breaker.record_success()
+                        if recorder is not None:
+                            recorded = True
+                            recorder.record_success()
                         span.set_attribute("outcome", "computed")
                         return result
                     except FutureTimeoutError:
-                        if self.breaker is not None:
-                            self.breaker.record_failure()
+                        if recorder is not None:
+                            recorded = True
+                            recorder.record_failure()
                         self.metrics.counter("timeouts").inc()
                         span.set_attribute("outcome", "degraded.timeout")
                         return self._degrade(
@@ -399,11 +419,15 @@ class PredictionService:
                             ),
                         )
                     except TRANSIENT_ERRORS as error:  # survived the retries
-                        if self.breaker is not None:
-                            self.breaker.record_failure()
+                        if recorder is not None:
+                            recorded = True
+                            recorder.record_failure()
                         self.metrics.counter("errors").inc()
                         span.set_attribute("outcome", "degraded.error")
                         return self._degrade("error", fallback_call, error)
+                    finally:
+                        if not recorded:
+                            recorder.record_failure()
                 finally:
                     self.admission.exit()
             finally:

@@ -114,6 +114,34 @@ def test_half_open_caps_concurrent_probes():
     assert breaker.state is BreakerState.CLOSED
 
 
+def test_cancel_returns_the_half_open_probe_slot_without_an_outcome():
+    clock = FakeClock()
+    breaker = _breaker(clock, threshold=1, recovery=1.0, probes=1)
+    breaker.record_failure()
+    clock.advance(1.0)
+    assert breaker.allow()  # the probe slot
+    assert not breaker.allow()  # slot taken
+    health_before = breaker.health_score
+    breaker.cancel()  # the admitted attempt never ran: hand the slot back
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert breaker.health_score == health_before  # no outcome was recorded
+    assert breaker.allow()  # a fresh probe is admitted immediately
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_cancel_is_a_noop_outside_half_open():
+    clock = FakeClock()
+    breaker = _breaker(clock, threshold=2, recovery=1.0)
+    breaker.cancel()  # CLOSED: nothing reserved, nothing changes
+    assert breaker.state is BreakerState.CLOSED
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.cancel()  # OPEN: probe accounting already reset
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.health_score == pytest.approx(0.25)
+
+
 def test_health_score_is_an_ewma_of_outcomes():
     breaker = _breaker(FakeClock(), alpha=0.5)
     assert breaker.health_score == 1.0
@@ -279,6 +307,81 @@ def test_service_cache_hits_bypass_an_open_breaker():
         assert service.breaker.state is BreakerState.OPEN
         # The warm entry is still served even though the circuit is open.
         assert service.predict_mrt_ms("s", 1) == 42.0
+
+
+def test_nontransient_primary_error_settles_the_breaker_bracket():
+    """A primary failure outside TRANSIENT_ERRORS (a predictor bug, an
+    injected non-transient fault) must still count as a breaker failure;
+    a HALF_OPEN probe hitting one would otherwise leak its probe slot
+    and wedge the breaker HALF_OPEN forever."""
+    clock = FakeClock()
+    primary = _FailingPredictor()
+
+    def buggy_answer():
+        raise ValueError("primary bug")
+
+    primary._answer = buggy_answer
+    with _service(primary, _ConstantPredictor(), clock, threshold=1) as service:
+        with pytest.raises(ValueError):
+            service.predict_mrt_ms("s", 1)
+        assert service.breaker.state is BreakerState.OPEN
+        clock.advance(10.0)
+        # The HALF_OPEN probe fails non-transiently: back to OPEN, with
+        # the probe slot released — not wedged HALF_OPEN.
+        with pytest.raises(ValueError):
+            service.predict_mrt_ms("s", 2)
+        assert service.breaker.state is BreakerState.OPEN
+        # Once the primary heals, the next probe re-closes the circuit.
+        primary._answer = lambda: 42.0
+        clock.advance(10.0)
+        assert service.predict_mrt_ms("s", 3) == 42.0
+        assert service.breaker.state is BreakerState.CLOSED
+
+
+def test_coalesced_requests_charge_the_breaker_once_per_execution():
+    """N requests sharing one coalesced execution must record one breaker
+    outcome (the submitter's), not N."""
+    import threading
+    import time
+
+    clock = FakeClock()
+    primary = _FailingPredictor()
+    entered = threading.Event()
+    release = threading.Event()
+    original = primary._answer
+
+    def blocking_answer():
+        entered.set()
+        release.wait(timeout=5.0)
+        return original()
+
+    primary._answer = blocking_answer
+    with _service(primary, _ConstantPredictor(), clock, threshold=2) as service:
+        results = []
+        first = threading.Thread(
+            target=lambda: results.append(service.predict_mrt_ms("s", 1))
+        )
+        first.start()
+        assert entered.wait(timeout=5.0)  # the primary execution is in flight
+        second = threading.Thread(
+            target=lambda: results.append(service.predict_mrt_ms("s", 1))
+        )
+        second.start()  # same key: coalesces onto the in-flight future
+        for _ in range(500):  # hold the execution until the join happened
+            if service.pool.stats().coalesced == 1:
+                break
+            time.sleep(0.01)
+        assert service.pool.stats().coalesced == 1
+        release.set()
+        first.join(timeout=5.0)
+        second.join(timeout=5.0)
+        assert results == [7.0, 7.0]  # both degraded to the fallback
+        # One execution failed, so the breaker saw ONE failure: below the
+        # threshold of 2, the circuit must still be closed.
+        assert service.breaker.state is BreakerState.CLOSED
+        # A second (distinct-key) failing execution then opens it.
+        assert service.predict_mrt_ms("s", 50) == 7.0
+        assert service.breaker.state is BreakerState.OPEN
 
 
 def test_service_without_breaker_config_has_no_breaker():

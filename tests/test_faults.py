@@ -178,6 +178,35 @@ def test_fire_applies_latency_before_error_via_injected_sleep():
         assert clock.monotonic_s() == pytest.approx(2.5)  # slept, then raised
 
 
+def test_fire_advances_every_error_spec_counter():
+    """Like trips(), fire() consults every ERROR spec on every call, so a
+    later spec's schedule never depends on an earlier spec's outcome."""
+    injector = FaultInjector()
+    plan = _plan(
+        FaultSpec(site="s", kind=FaultKind.ERROR, name="first", on_calls=(1,)),
+        FaultSpec(site="s", kind=FaultKind.ERROR, name="second", every_nth=2),
+    )
+    with inject(plan, injector=injector):
+        # Call 1: "first" fires (and wins); "second" still counts it.
+        # Call 2: "second"'s own 2nd consultation -> fires.  Call 4: again.
+        assert _fires(injector, "s", 4) == [True, True, False, True]
+        assert injector.injected_counts() == {"first": 1, "second": 2}
+
+
+def test_fire_first_firing_error_spec_wins():
+    injector = FaultInjector()
+    plan = _plan(
+        FaultSpec(site="s", kind=FaultKind.ERROR, name="a", error=ConvergenceError),
+        FaultSpec(site="s", kind=FaultKind.ERROR, name="b"),
+    )
+    with inject(plan, injector=injector):
+        with pytest.raises(ConvergenceError):  # "a" raises, not "b"
+            injector.fire("s")
+        # Both triggers fired (injected counts are consultations that
+        # passed, as for TRIP specs), but only the first raised.
+        assert injector.injected_counts() == {"a": 1, "b": 1}
+
+
 def test_trips_and_filter_verbs():
     injector = FaultInjector()
     plan = _plan(
@@ -305,6 +334,28 @@ def test_cache_sites_force_expiry_and_corrupt_values():
     assert hit and value == -5.0
     hit, value = cache.get(key)
     assert hit and value == 5.0  # stored entry itself was never mutated
+
+
+def test_cache_expire_trip_is_consulted_on_would_be_hits_only():
+    from repro.service.cache import PredictionCache, quantize_key
+
+    cache = PredictionCache()
+    key = quantize_key("srv", "mrt", 100.0, 0.0)
+    spec = FaultSpec(site="service.cache.expire", kind=FaultKind.TRIP, name="exp")
+    with inject(_plan(spec)) as injector:
+        hit, _ = cache.get(key)  # plain miss: nothing to forcibly expire
+        assert not hit
+        assert injector.injected_counts() == {"exp": 0}
+        cache.put(key, 5.0)
+        hit, _ = cache.get(key)  # would-be hit: the trip fires and drops it
+        assert not hit
+        assert injector.injected_counts() == {"exp": 1}
+        hit, _ = cache.get(key)  # the dropped entry is a plain miss again
+        assert not hit
+        assert injector.injected_counts() == {"exp": 1}
+    stats = cache.stats()
+    # The injected count matches entries actually forcibly expired.
+    assert stats.expirations == 1 and stats.misses == 3 and stats.hits == 0
 
 
 def test_admission_site_forces_rejection():

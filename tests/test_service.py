@@ -182,6 +182,19 @@ class TestCoalescingPool:
             assert [f.result(timeout=5.0) for f in futures] == [0, 2, 4, 6]
             assert pool.stats().coalesced == 0
 
+    def test_submit_or_join_reports_which_call_started_the_work(self):
+        pool = CoalescingPool(max_workers=2)
+        release = threading.Event()
+        first, started_first = pool.submit_or_join(
+            "k", lambda: release.wait(timeout=5.0)
+        )
+        second, started_second = pool.submit_or_join("k", lambda: None)
+        release.set()
+        assert started_first and not started_second
+        assert second is first  # the join returned the in-flight future
+        first.result(timeout=5.0)
+        pool.shutdown()
+
     def test_key_released_after_completion(self):
         with CoalescingPool(max_workers=2) as pool:
             pool.submit("k", lambda: 1).result(timeout=5.0)
