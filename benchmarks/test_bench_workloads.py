@@ -1,0 +1,79 @@
+"""Benchmark: distribution-fitting throughput for trace characterization.
+
+The workload-characterization pipeline refits full candidate ladders
+(exponential, lognormal, Pareto, H2, empirical — each with KS/AD
+diagnostics) over every trace it ingests, and the validation battery
+does it twice more on the regenerated trace.  For the CLI and the CI
+validation job to stay interactive, ``fit_all`` must sustain a healthy
+sample throughput:
+
+* a floor assertion — the full ladder over a 5 000-sample trace fits at
+  **> 100 k samples/s** (minimum over repeated batches, so OS noise
+  can only inflate a sample, never fail the gate spuriously);
+* pytest-benchmark timings of the full ladder and of the single
+  best-fit path for the history file.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.util.rng import spawn_rng
+from repro.workloads.fitting import best_fit, discriminate_tail, fit_all
+
+N_SAMPLES = 5_000
+
+#: Floor on fitted samples per second for the full candidate ladder.
+MIN_SAMPLES_PER_S = 100_000.0
+
+
+def _trace_samples(n: int = N_SAMPLES) -> np.ndarray:
+    """A representative heavy-ish think-time sample (lognormal ms)."""
+    rng = spawn_rng(2004, "bench:workloads")
+    return np.exp(rng.normal(8.3, 0.9, n))
+
+
+def _min_fit_all_s(samples: np.ndarray, repeats: int = 10) -> float:
+    fit_all(samples)  # warm numpy/scipy lazy setup out of the timing
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fit_all(samples)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_bench_fit_all_throughput_floor():
+    """The acceptance gate: the full ladder fits > 100k samples/s."""
+    samples = _trace_samples()
+    best_s = _min_fit_all_s(samples)
+    samples_per_s = len(samples) / best_s
+
+    print(
+        f"\nfit_all over {len(samples)} samples: best {best_s * 1e3:.2f} ms "
+        f"({samples_per_s / 1e3:.0f}k samples/s)"
+    )
+    assert samples_per_s > MIN_SAMPLES_PER_S, (
+        f"fit_all sustains only {samples_per_s / 1e3:.0f}k samples/s "
+        f"(floor: {MIN_SAMPLES_PER_S / 1e3:.0f}k)"
+    )
+
+
+def test_bench_fit_all_ladder(benchmark):
+    """pytest-benchmark timing of the full candidate ladder."""
+    samples = _trace_samples()
+    ranked = benchmark(fit_all, samples)
+    assert ranked[0].spec.kind == "lognormal"
+
+
+def test_bench_best_fit_with_tail_screen(benchmark):
+    """The CLI hot path: tail discrimination plus the winning fit."""
+    samples = _trace_samples()
+
+    def op():
+        discriminate_tail(samples)
+        return best_fit(samples)
+
+    assert benchmark(op).spec.kind == "lognormal"

@@ -5,6 +5,7 @@ Current rules (one module each):
 ==============  ====================  =====================================
 rule id         name                  defect class
 ==============  ====================  =====================================
+REPRO-DIST001   dist-discipline       workload sampling with hidden entropy
 REPRO-LOCK001   lock-discipline       lock-guarded state accessed bare
 REPRO-RNG001    rng-discipline        unseeded module-level RNG use
 REPRO-FLT001    float-equality        exact float == in tolerance code
@@ -20,6 +21,7 @@ positive/negative fixtures under ``tests/analysis_fixtures/``.
 """
 
 from repro.analysis.rules import (  # noqa: F401  (imports register the rules)
+    dist_discipline,
     float_equality,
     lock_discipline,
     mutable_defaults,

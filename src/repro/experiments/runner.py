@@ -40,6 +40,7 @@ EXPERIMENTS: dict[str, str] = {
     "serving": "repro.experiments.serving",
     "tracing": "repro.experiments.tracing",
     "chaos": "repro.experiments.chaos",
+    "workloads": "repro.experiments.workloads",
 }
 
 

@@ -1,0 +1,194 @@
+"""ETL adapters: every request-log format the repo produces, one record set.
+
+Three ingestion paths normalize into :class:`~repro.workloads.records.RecordSet`:
+
+* **CSV arrival traces** — the :mod:`repro.workload.generators` format
+  (``arrival_ms,operation,client_id``), bridging the pre-existing trace
+  machinery into the characterization pipeline;
+* **JSONL span logs** — the :mod:`repro.trace` sink format: every END
+  event of a chosen span name becomes a request whose arrival is the
+  span start and whose service time is the span duration, so the repo's
+  own serving-layer traces are characterizable without a separate
+  logging path;
+* **generic timestamped logs** — a delimited-text adapter described by a
+  :class:`LogFormat` (column positions, time unit, optional service
+  column), the escape hatch for foreign access logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.trace.events import END, TraceEvent
+from repro.trace.sinks import load_events_jsonl
+from repro.util.errors import ValidationError
+from repro.util.validation import check_non_negative_int, check_positive, require
+from repro.workload.generators import TraceEntry, load_trace_csv
+from repro.workloads.records import RecordSet, RequestRecord
+
+__all__ = [
+    "records_from_trace_entries",
+    "load_records_csv",
+    "records_from_events",
+    "load_records_jsonl",
+    "LogFormat",
+    "parse_log_lines",
+    "load_records_log",
+]
+
+
+def records_from_trace_entries(entries: Iterable[TraceEntry]) -> RecordSet:
+    """Normalize :class:`~repro.workload.generators.TraceEntry` rows.
+
+    Arrival traces carry no service times, so think-time extraction will
+    use per-client arrival gaps (see
+    :meth:`~repro.workloads.records.RecordSet.think_times_ms`).
+    """
+    return RecordSet(
+        RequestRecord(
+            arrival_ms=entry.arrival_ms,
+            operation=entry.operation,
+            client_id=entry.client_id,
+        )
+        for entry in entries
+    )
+
+
+def load_records_csv(path: str | Path) -> RecordSet:
+    """Ingest a CSV trace written by :func:`~repro.workload.generators.save_trace_csv`."""
+    return records_from_trace_entries(load_trace_csv(path))
+
+
+def records_from_events(
+    events: Iterable[TraceEvent],
+    *,
+    span_name: str = "service.request",
+    operation_attr: str = "kind",
+    client_attr: str | None = None,
+) -> RecordSet:
+    """Normalize tracer END events of ``span_name`` into request records.
+
+    The span start (``ts_us``) is the arrival instant, the span duration
+    the service time.  The operation comes from ``attributes[operation_attr]``
+    (falling back to the span name) and the client identity from
+    ``attributes[client_attr]`` when given, else the emitting thread —
+    one serving thread is one closed-loop requester, which is exactly
+    the load generator's model.
+    """
+    records = []
+    for event in events:
+        if event.kind != END or event.name != span_name:
+            continue
+        operation = str(event.attributes.get(operation_attr, event.name))
+        if client_attr is not None and client_attr in event.attributes:
+            client = str(event.attributes[client_attr])
+        else:
+            client = f"thread:{event.thread_id}"
+        records.append(
+            RequestRecord(
+                arrival_ms=event.ts_us / 1000.0,
+                operation=operation,
+                client_id=client,
+                service_ms=event.dur_us / 1000.0,
+            )
+        )
+    require(bool(records), f"no END events named {span_name!r} in the trace")
+    return RecordSet(records)
+
+
+def load_records_jsonl(
+    path: str | Path,
+    *,
+    span_name: str = "service.request",
+    operation_attr: str = "kind",
+    client_attr: str | None = None,
+) -> RecordSet:
+    """Ingest a :class:`~repro.trace.sinks.JsonlSink` file (span log)."""
+    return records_from_events(
+        load_events_jsonl(path),
+        span_name=span_name,
+        operation_attr=operation_attr,
+        client_attr=client_attr,
+    )
+
+
+@dataclass(frozen=True)
+class LogFormat:
+    """Column layout of a generic delimited, timestamped request log.
+
+    ``timestamp_scale_ms`` converts the log's time unit to milliseconds
+    (1.0 for ms timestamps, 1000.0 for seconds, 0.001 for µs).
+    ``service_column`` is ``None`` when the log has no duration column.
+    """
+
+    delimiter: str = ","
+    timestamp_column: int = 0
+    operation_column: int = 1
+    client_column: int = 2
+    service_column: int | None = None
+    timestamp_scale_ms: float = 1.0
+    skip_header_lines: int = 0
+    comment_prefix: str = "#"
+
+    def __post_init__(self) -> None:
+        check_positive(self.timestamp_scale_ms, "timestamp_scale_ms")
+        check_non_negative_int(self.skip_header_lines, "skip_header_lines")
+        require(bool(self.delimiter), "delimiter must be non-empty")
+
+
+def parse_log_lines(lines: Iterable[str], fmt: LogFormat) -> RecordSet:
+    """Parse delimited log lines into a record set per ``fmt``.
+
+    Blank lines and ``comment_prefix`` lines are skipped; malformed rows
+    raise :class:`~repro.util.errors.ValidationError` with the offending
+    line number — silent row-dropping would bias every fitted statistic.
+    """
+    records = []
+    needed = max(
+        fmt.timestamp_column,
+        fmt.operation_column,
+        fmt.client_column,
+        fmt.service_column if fmt.service_column is not None else 0,
+    )
+    for line_number, line in enumerate(lines, start=1):
+        if line_number <= fmt.skip_header_lines:
+            continue
+        stripped = line.strip()
+        if not stripped or stripped.startswith(fmt.comment_prefix):
+            continue
+        parts = [part.strip() for part in stripped.split(fmt.delimiter)]
+        if len(parts) <= needed:
+            raise ValidationError(
+                f"log line {line_number}: want at least {needed + 1} columns, "
+                f"got {len(parts)}"
+            )
+        try:
+            arrival = float(parts[fmt.timestamp_column]) * fmt.timestamp_scale_ms
+            service = (
+                float(parts[fmt.service_column]) * fmt.timestamp_scale_ms
+                if fmt.service_column is not None
+                else None
+            )
+        except ValueError as exc:
+            raise ValidationError(f"log line {line_number}: {exc}") from exc
+        records.append(
+            RequestRecord(
+                arrival_ms=arrival,
+                operation=parts[fmt.operation_column],
+                client_id=parts[fmt.client_column],
+                service_ms=service,
+            )
+        )
+    require(bool(records), "log contained no parseable request rows")
+    return RecordSet(records)
+
+
+def load_records_log(path: str | Path, fmt: LogFormat | None = None) -> RecordSet:
+    """Ingest a generic timestamped log file per ``fmt`` (default layout)."""
+    source = Path(path)
+    if not source.exists():
+        raise ValidationError(f"no log file at {source}")
+    with source.open("r", encoding="utf-8") as handle:
+        return parse_log_lines(handle, fmt if fmt is not None else LogFormat())

@@ -1,0 +1,13 @@
+"""Fixture: workload sampling through hidden entropy (REPRO-DIST001 positive).
+
+Both defects this rule exists for, in their natural habitat: a sampler
+that cannot be handed a generator, and a SciPy draw off the global RNG.
+"""
+
+import scipy.stats
+
+
+def sample_think_times(mean_ms, n):
+    """Sampler with no rng parameter: entropy can only come from globals."""
+    dist = scipy.stats.expon(scale=mean_ms)
+    return dist.rvs(size=n)

@@ -1,0 +1,13 @@
+"""Fixture: disciplined workload sampling (REPRO-DIST001 negative).
+
+The sampler takes the generator explicitly and the SciPy draw pins its
+``random_state`` — a (spec, seed) pair reproduces byte-identically.
+"""
+
+import scipy.stats
+
+
+def sample_think_times(rng, mean_ms, n):
+    """Sampler handed a spawn_rng stream: reproducible under a seed."""
+    dist = scipy.stats.expon(scale=mean_ms)
+    return dist.rvs(size=n, random_state=rng)

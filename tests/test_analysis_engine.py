@@ -64,6 +64,7 @@ class TestEngine:
             "REPRO-MUT001",
             "REPRO-API001",
             "REPRO-TRC001",
+            "REPRO-DIST001",
         }
 
 

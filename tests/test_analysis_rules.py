@@ -406,3 +406,63 @@ class TestTraceDiscipline:
             path="src/repro/trace/tracer.py",
         )
         assert found == []
+
+
+class TestDistDiscipline:
+    def test_hidden_entropy_fixture_is_flagged_twice(self):
+        """Both defect shapes: rng-less sampler and bare .rvs draw."""
+        engine = AnalysisEngine(resolve_rules(["dist-discipline"]))
+        found = engine.analyze_file(FIXTURES / "workloads_hidden_entropy.py")
+        assert [f.rule_id for f in found] == ["REPRO-DIST001"] * 2
+        assert {f.symbol for f in found} == {"sample_think_times", "rvs"}
+        assert {f.severity for f in found} == {Severity.ERROR}
+
+    def test_seeded_twin_is_silent(self):
+        engine = AnalysisEngine(resolve_rules(["dist-discipline"]))
+        assert engine.analyze_file(FIXTURES / "workloads_seeded_sampler.py") == []
+
+    def test_sampler_without_rng_is_flagged(self):
+        found = findings_for(
+            "dist-discipline",
+            """
+            def sample(n):
+                return [0.0] * n
+            """,
+            path="src/repro/workloads/dists.py",
+        )
+        assert [f.symbol for f in found] == ["sample"]
+
+    def test_sampler_method_with_rng_is_silent(self):
+        found = findings_for(
+            "dist-discipline",
+            """
+            class Spec:
+                def sample(self, rng, n):
+                    return rng.exponential(1.0, n)
+            """,
+            path="src/repro/workloads/dists.py",
+        )
+        assert found == []
+
+    def test_rvs_with_random_state_is_silent(self):
+        found = findings_for(
+            "dist-discipline",
+            """
+            def draw(dist, rng, n):
+                return dist.rvs(size=n, random_state=rng)
+            """,
+            path="src/repro/workloads/fitting.py",
+        )
+        assert found == []
+
+    def test_out_of_scope_paths_are_exempt(self):
+        """The simulator's distribution layer is REPRO-RNG001's beat."""
+        found = findings_for(
+            "dist-discipline",
+            """
+            def sample(self):
+                return self._draw()
+            """,
+            path="src/repro/simulation/distributions.py",
+        )
+        assert found == []

@@ -1,9 +1,10 @@
 """Golden-file regression tests for the headline experiments.
 
 ``fig2`` (the cross-method response-time curves), ``fig6`` (the resource
-manager's usage steps) and ``table1`` (the calibrated historical
-parameters) each have their fast-mode ``data`` payload committed as JSON
-under ``tests/goldens/``.  The tests re-run the experiment and compare
+manager's usage steps), ``table1`` (the calibrated historical
+parameters) and ``workloads`` (the trace-characterization round trip)
+each have their fast-mode ``data`` payload committed as JSON under
+``tests/goldens/``.  The tests re-run the experiment and compare
 against the golden recursively, with a relative tolerance on floats so a
 benign numerical wobble (BLAS version, summation order) doesn't fail the
 build while a real calibration change does.
@@ -37,6 +38,7 @@ GOLDEN_EXPERIMENTS = {
     "fig2": "repro.experiments.fig2",
     "fig6": "repro.experiments.fig6",
     "table1": "repro.experiments.table1",
+    "workloads": "repro.experiments.workloads",
 }
 
 

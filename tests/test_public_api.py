@@ -64,6 +64,7 @@ def test_experiment_registry_complete():
         "serving",
         "tracing",
         "chaos",
+        "workloads",
     }
     assert set(EXPERIMENTS) == expected
 
