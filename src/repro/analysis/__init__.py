@@ -12,13 +12,19 @@ Two halves behind one findings/baseline/reporting pipeline:
   (call-graph cycles, unreachable entries, non-positive demands and
   multiplicities, reference-task sanity) run before any solve via
   ``SolverOptions(lint_models=True)`` or a
-  :class:`~repro.service.service.PredictionService` admission preflight.
+  :class:`~repro.service.service.PredictionService` admission preflight;
+* a **whole-program analyzer** (:mod:`repro.analysis.project`) — parses
+  the tree once into a module-qualified call graph and lock model, then
+  runs interprocedural passes for lock-order deadlock cycles,
+  blocking-under-lock, and entropy-to-artifact taint, via
+  ``python -m repro.analysis project``.
 
 Quick use::
 
-    from repro.analysis import AnalysisEngine, lint_model
+    from repro.analysis import AnalysisEngine, lint_model, analyze_project
     findings = AnalysisEngine().analyze_paths(["src"])
     model_findings = lint_model(model)   # LqnModel or serialized dict
+    program_findings = analyze_project(["src"])
 """
 
 from repro.analysis.baseline import apply_baseline, load_baseline, write_baseline
@@ -30,8 +36,10 @@ from repro.analysis.model_lint import (
     lint_model,
     model_preflight,
 )
+from repro.analysis.project import ProjectAnalyzer, ProjectConfig, analyze_project
 from repro.analysis.reporters import render_json, render_text
 from repro.analysis.rules import Rule, SourceFile, all_rules, register, resolve_rules
+from repro.analysis.sarif import render_sarif
 
 __all__ = [
     "AnalysisEngine",
@@ -48,6 +56,10 @@ __all__ = [
     "write_baseline",
     "render_text",
     "render_json",
+    "render_sarif",
+    "ProjectAnalyzer",
+    "ProjectConfig",
+    "analyze_project",
     "lint_model",
     "check_model",
     "model_preflight",

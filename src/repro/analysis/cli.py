@@ -6,6 +6,11 @@ Usage::
     python -m repro.analysis src --rule lock-discipline --format=json
     python -m repro.analysis src tests --baseline b.json --write-baseline
     python -m repro.analysis --list-rules
+    python -m repro.analysis project src      # whole-program passes
+
+The ``project`` subcommand dispatches to
+:mod:`repro.analysis.project.cli` — the interprocedural deadlock /
+blocking-under-lock / entropy-taint gate — with its own flags.
 
 Exit codes (what CI keys on):
 
@@ -23,6 +28,7 @@ from repro.analysis.baseline import apply_baseline, load_baseline, write_baselin
 from repro.analysis.engine import AnalysisEngine
 from repro.analysis.reporters import render_json, render_text
 from repro.analysis.rules.base import all_rules, resolve_rules
+from repro.analysis.sarif import render_sarif
 from repro.util.errors import ValidationError
 
 __all__ = ["main", "build_parser"]
@@ -64,7 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -78,8 +84,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Run the analysis CLI; returns the process exit code."""
+    import sys
+
+    argv_list = list(sys.argv[1:] if argv is None else argv)
+    if argv_list and argv_list[0] == "project":
+        from repro.analysis.project.cli import project_main
+
+        return project_main(argv_list[1:])
+
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(argv_list)
 
     if args.list_rules:
         for rule in all_rules():
@@ -104,6 +118,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValidationError as error:
         parser.exit(EXIT_USAGE, f"error: {error}\n")
 
-    renderer = render_json if args.format == "json" else render_text
-    print(renderer(findings, suppressed=suppressed))
+    if args.format == "sarif":
+        print(render_sarif(findings, suppressed=suppressed))
+    else:
+        renderer = render_json if args.format == "json" else render_text
+        print(renderer(findings, suppressed=suppressed))
     return EXIT_FINDINGS if findings else EXIT_CLEAN

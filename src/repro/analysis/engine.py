@@ -19,7 +19,13 @@ from repro.analysis.findings import Finding, Severity
 from repro.analysis.rules.base import Rule, SourceFile, all_rules
 from repro.util.errors import ValidationError
 
-__all__ = ["AnalysisEngine", "collect_python_files", "SYNTAX_RULE_ID"]
+__all__ = [
+    "AnalysisEngine",
+    "collect_python_files",
+    "display_path",
+    "find_project_root",
+    "SYNTAX_RULE_ID",
+]
 
 SYNTAX_RULE_ID = "REPRO-SYNTAX"
 
@@ -29,10 +35,11 @@ _SKIPPED_DIRS = frozenset({"__pycache__", "build", "dist", ".git"})
 def collect_python_files(paths: Sequence[str | Path]) -> list[Path]:
     """Every ``.py`` file under the given files/directories, sorted.
 
-    Hidden directories, ``__pycache__`` and build trees are skipped.
-    Raises :class:`~repro.util.errors.ValidationError` for a path that
-    does not exist — a typo'd CI invocation must fail loudly, not gate
-    on an empty file set.
+    Hidden directories, hidden *files* (``.hidden.py`` at any depth),
+    ``__pycache__`` and build trees are skipped.  Raises
+    :class:`~repro.util.errors.ValidationError` for a path that does not
+    exist — a typo'd CI invocation must fail loudly, not gate on an
+    empty file set.
     """
     collected: set[Path] = set()
     for raw in paths:
@@ -42,7 +49,7 @@ def collect_python_files(paths: Sequence[str | Path]) -> list[Path]:
         elif path.is_dir():
             for candidate in path.rglob("*.py"):
                 parts = candidate.relative_to(path).parts
-                if any(p in _SKIPPED_DIRS or p.startswith(".") for p in parts[:-1]):
+                if any(p in _SKIPPED_DIRS or p.startswith(".") for p in parts):
                     continue
                 collected.add(candidate)
         else:
@@ -50,13 +57,40 @@ def collect_python_files(paths: Sequence[str | Path]) -> list[Path]:
     return sorted(collected)
 
 
+def find_project_root(start: Path) -> Path | None:
+    """Nearest ancestor of ``start`` (inclusive) holding a ``pyproject.toml``."""
+    anchor = start if start.is_dir() else start.parent
+    for candidate in (anchor, *anchor.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return None
+
+
 def _display_path(path: Path) -> str:
-    """Portable display path: relative to the working directory, POSIX."""
+    """Portable display path, POSIX-style.
+
+    Anchored to the *project root* (the nearest ancestor with a
+    ``pyproject.toml``) rather than the working directory, so a baseline
+    written from the repo root and a CLI invocation from a subdirectory
+    fingerprint the same file identically.  Files outside any project
+    fall back to the old cwd-relative behaviour.
+    """
+    resolved = path.resolve()
+    root = find_project_root(resolved)
+    if root is not None:
+        try:
+            return resolved.relative_to(root).as_posix()
+        except ValueError:  # pragma: no cover - root is an ancestor by construction
+            pass
     try:
-        rel = path.resolve().relative_to(Path.cwd().resolve())
+        rel = resolved.relative_to(Path.cwd().resolve())
     except ValueError:
         rel = path
     return rel.as_posix()
+
+
+#: Public alias — the whole-program analyzer renders paths identically.
+display_path = _display_path
 
 
 class AnalysisEngine:

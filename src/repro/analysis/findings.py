@@ -10,6 +10,15 @@ Fingerprints deliberately exclude the line number: a baseline entry
 keyed on ``(rule, path, symbol, message)`` survives unrelated edits
 that shift code up or down, which is what keeps a committed baseline
 from churning on every refactor.
+
+Whole-program findings (the :mod:`repro.analysis.project` passes) carry
+a ``witness`` — the call chain that proves the property, e.g. the path
+from a lock acquisition to the nested acquisition completing a cycle.
+The witness extends the fingerprint (still line-independent: it is a
+tuple of qualified names), so two distinct interprocedural routes to
+the same defect are distinct baseline entries, and a finding whose
+witnessing chain changes shape is surfaced as new rather than silently
+inheriting an old suppression.
 """
 
 from __future__ import annotations
@@ -44,7 +53,9 @@ class Finding:
 
     ``symbol`` names the offending definition (``Class.method``, an
     entry name, an attribute) when the rule knows it; it sharpens both
-    the report and the baseline fingerprint.
+    the report and the baseline fingerprint.  ``witness`` is the
+    qualified call chain proving an interprocedural finding (empty for
+    the per-file rules).
     """
 
     rule_id: str
@@ -54,20 +65,25 @@ class Finding:
     line: int
     message: str
     symbol: str = field(default="")
+    witness: tuple[str, ...] = field(default=())
 
     def fingerprint(self) -> str:
         """Line-independent identity used by the baseline.
 
         Two findings with the same rule, file, symbol and message share a
         fingerprint; the baseline stores a *count* per fingerprint so a
-        file may carry several identical legacy findings.
+        file may carry several identical legacy findings.  A non-empty
+        witness chain participates too (appended, so per-file rule
+        fingerprints are unchanged from the pre-witness format).
         """
         raw = "|".join((self.rule_id, self.path, self.symbol, self.message))
+        if self.witness:
+            raw += "|" + " -> ".join(self.witness)
         return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:20]
 
     def to_dict(self) -> dict[str, object]:
         """JSON-compatible form (the JSON reporter's row format)."""
-        return {
+        row: dict[str, object] = {
             "rule_id": self.rule_id,
             "rule_name": self.rule_name,
             "severity": self.severity.value,
@@ -77,6 +93,9 @@ class Finding:
             "message": self.message,
             "fingerprint": self.fingerprint(),
         }
+        if self.witness:
+            row["witness"] = list(self.witness)
+        return row
 
     def render(self) -> str:
         """The text reporter's one-line form."""

@@ -1,0 +1,49 @@
+"""Whole-program analysis: call graph, lock model, and the three passes.
+
+Layers (each usable on its own):
+
+* :mod:`repro.analysis.project.call_graph` — parse the tree once into a
+  :class:`~repro.analysis.project.call_graph.ProjectIndex`, resolve
+  every call site through the module/class/type resolution ladder into
+  a :class:`~repro.analysis.project.call_graph.CallGraph`.
+* :mod:`repro.analysis.project.locks` — per-function lock acquisitions
+  and lock-context-annotated call sites.
+* :mod:`repro.analysis.project.taint` — per-function entropy sources
+  and artifact-writer sinks.
+* :mod:`repro.analysis.project.passes` — the interprocedural joins:
+  REPRO-DEADLOCK001, REPRO-BLOCK001, REPRO-ENTROPY001.
+* :mod:`repro.analysis.project.cli` — the ``python -m repro.analysis
+  project`` gate.
+"""
+
+from repro.analysis.project.call_graph import (
+    CallGraph,
+    ProjectIndex,
+    build_call_graph,
+    build_index,
+)
+from repro.analysis.project.passes import (
+    BLOCK_RULE_ID,
+    DEADLOCK_RULE_ID,
+    ENTROPY_RULE_ID,
+    PROJECT_PASSES,
+    ProjectAnalyzer,
+    ProjectConfig,
+    analyze_project,
+)
+from repro.analysis.project.cli import project_main
+
+__all__ = [
+    "CallGraph",
+    "ProjectIndex",
+    "build_call_graph",
+    "build_index",
+    "ProjectAnalyzer",
+    "ProjectConfig",
+    "analyze_project",
+    "project_main",
+    "PROJECT_PASSES",
+    "DEADLOCK_RULE_ID",
+    "BLOCK_RULE_ID",
+    "ENTROPY_RULE_ID",
+]

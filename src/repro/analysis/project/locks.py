@@ -1,0 +1,219 @@
+"""The lock-acquisition model: which locks a function takes, and where.
+
+One AST walk per function produces a :class:`FunctionScan` — every lock
+acquisition (``with self._lock:`` / ``with _MODULE_LOCK:``) with the
+locks already held at that point, and every call site annotated with
+the same held-lock context.  The whole-program passes join these scans
+with the call graph: an acquisition's ``held`` tuple yields intra-
+procedural lock-order edges directly, and a call site's ``held`` tuple
+seeds the interprocedural search for nested acquisitions and blocking
+operations reachable through the callee.
+
+Lock identity is **class-level**: ``pkg.mod.Class._lock`` names the
+lock attribute, not a runtime instance.  Two instances of the same
+class therefore share an identity — a deliberate over-approximation
+(see DESIGN.md): a cycle between class-level locks is a *potential*
+deadlock that a per-instance analysis might rule out, but the converse
+miss (two distinct instances ordered differently on two threads) is
+exactly the bug class this pass exists to catch.
+
+Nested functions and lambdas are **deferred contexts**: their bodies
+run later, on whatever thread calls them, when the lexically enclosing
+``with`` block's lock is long released.  Calls inside them are recorded
+with an empty held set and flagged ``deferred`` so the lock passes can
+exclude them from reachability (a worker-thread body submitted under a
+lock does not execute under it) while the entropy pass still follows
+them (deferred code still writes bytes).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Acquisition", "RawCall", "FunctionScan", "scan_function", "is_lock_name"]
+
+#: Reentrancy by constructor: ``Lock`` self-deadlocks, ``RLock`` nests,
+#: ``Condition`` wraps an RLock by default.  ``None`` = never seen
+#: constructed (identity known only by naming convention).
+LOCK_CONSTRUCTORS = {
+    "threading.Lock": False,
+    "threading.RLock": True,
+    "threading.Condition": True,
+    "multiprocessing.Lock": False,
+    "multiprocessing.RLock": True,
+}
+
+
+def is_lock_name(attr: str) -> bool:
+    """Whether an attribute name denotes a lock by convention."""
+    return "lock" in attr.lower()
+
+
+@dataclass(frozen=True, slots=True)
+class Acquisition:
+    """One lock acquisition: the lock, the line, and what was already held."""
+
+    lock: str
+    line: int
+    held: tuple[str, ...]
+    reentrant: bool | None  # None = lock type unknown (name-convention only)
+
+
+@dataclass(frozen=True, slots=True)
+class RawCall:
+    """One un-resolved call site with its lock context."""
+
+    node: ast.Call
+    line: int
+    held: tuple[str, ...]
+    deferred: bool
+
+
+@dataclass(slots=True)
+class FunctionScan:
+    """Everything the passes need from one function body."""
+
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    calls: list[RawCall] = field(default_factory=list)
+
+
+class _Scanner:
+    """Statement walker tracking the ordered tuple of held locks."""
+
+    def __init__(
+        self,
+        lock_id_for: "dict[str, tuple[str, bool | None]]",
+        module_locks: "dict[str, tuple[str, bool | None]]",
+        owner_qual: str,
+    ):
+        # attr name -> (qualified lock id, reentrant) for `with self.X:`
+        self._self_locks = lock_id_for
+        # module-level name -> (qualified lock id, reentrant) for `with X:`
+        self._module_locks = module_locks
+        # Prefix for locks known only by naming convention.
+        self._owner = owner_qual
+        self.scan = FunctionScan()
+
+    # -- lock identification ---------------------------------------------------
+
+    def _lock_of(self, expr: ast.AST) -> tuple[str, bool | None] | None:
+        """The (lock id, reentrancy) a ``with`` context expression names."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            known = self._self_locks.get(expr.attr)
+            if known is not None:
+                return known
+            if is_lock_name(expr.attr):
+                # Name-convention lock never seen constructed in __init__:
+                # identity is still class-qualified, reentrancy unknown.
+                return (f"{self._owner}.{expr.attr}", None)
+            return None
+        if isinstance(expr, ast.Name):
+            known = self._module_locks.get(expr.id)
+            if known is not None:
+                return known
+            if is_lock_name(expr.id):
+                return (f"{self._owner}.{expr.id}", None)
+        return None
+
+    # -- walking ---------------------------------------------------------------
+
+    def walk_body(self, body: list[ast.stmt], held: tuple[str, ...], deferred: bool) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, held, deferred)
+
+    def _walk_stmt(self, stmt: ast.stmt, held: tuple[str, ...], deferred: bool) -> None:
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    lock_id, reentrant = lock
+                    self.scan.acquisitions.append(
+                        Acquisition(
+                            lock=lock_id,
+                            line=item.context_expr.lineno,
+                            held=() if deferred else inner,
+                            reentrant=reentrant,
+                        )
+                    )
+                    if lock_id not in inner:
+                        inner = inner + (lock_id,)
+                else:
+                    self._walk_expr(item.context_expr, held, deferred)
+                if item.optional_vars is not None:
+                    self._walk_expr(item.optional_vars, held, deferred)
+            self.walk_body(stmt.body, inner, deferred)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Deferred: runs later, without the enclosing locks.
+            self.walk_body(stmt.body, (), True)
+        elif isinstance(stmt, ast.ClassDef):
+            pass  # a nested class's methods have their own scans
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._walk_expr(stmt.target, held, deferred)
+            self._walk_expr(stmt.iter, held, deferred)
+            self.walk_body(stmt.body, held, deferred)
+            self.walk_body(stmt.orelse, held, deferred)
+        elif isinstance(stmt, ast.While):
+            self._walk_expr(stmt.test, held, deferred)
+            self.walk_body(stmt.body, held, deferred)
+            self.walk_body(stmt.orelse, held, deferred)
+        elif isinstance(stmt, ast.If):
+            self._walk_expr(stmt.test, held, deferred)
+            self.walk_body(stmt.body, held, deferred)
+            self.walk_body(stmt.orelse, held, deferred)
+        elif isinstance(stmt, ast.Try):
+            self.walk_body(stmt.body, held, deferred)
+            for handler in stmt.handlers:
+                if handler.type is not None:
+                    self._walk_expr(handler.type, held, deferred)
+                self.walk_body(handler.body, held, deferred)
+            self.walk_body(stmt.orelse, held, deferred)
+            self.walk_body(stmt.finalbody, held, deferred)
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                self._walk_expr(child, held, deferred)
+
+    def _walk_expr(self, node: ast.AST, held: tuple[str, ...], deferred: bool) -> None:
+        if isinstance(node, ast.Call):
+            self.scan.calls.append(
+                RawCall(
+                    node=node,
+                    line=node.lineno,
+                    held=() if deferred else held,
+                    deferred=deferred,
+                )
+            )
+            # Arguments (and the callee expression) may contain further calls.
+            for child in ast.iter_child_nodes(node):
+                self._walk_expr(child, held, deferred)
+        elif isinstance(node, ast.Lambda):
+            self._walk_expr(node.body, (), True)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.walk_body(node.body, (), True)
+        else:
+            for child in ast.iter_child_nodes(node):
+                self._walk_expr(child, held, deferred)
+
+
+def scan_function(
+    fn_body: list[ast.stmt],
+    *,
+    self_locks: dict[str, tuple[str, bool | None]],
+    module_locks: dict[str, tuple[str, bool | None]],
+    owner_qual: str,
+) -> FunctionScan:
+    """Scan one function (or module) body for acquisitions and call sites.
+
+    ``self_locks`` maps a lock attribute name to its class-qualified
+    identity and reentrancy (empty outside classes); ``module_locks``
+    does the same for module-level lock globals; ``owner_qual`` prefixes
+    the identity of locks known only by naming convention.
+    """
+    scanner = _Scanner(self_locks, module_locks, owner_qual)
+    scanner.walk_body(fn_body, (), False)
+    return scanner.scan

@@ -1,0 +1,218 @@
+"""Entropy taint: nondeterminism sources and artifact-writer sinks.
+
+Every experiment artifact in this repo is gated on byte-identical
+output (the chaos and workloads CI jobs literally ``diff`` two runs),
+so any wall-clock read, unseeded RNG draw or hash-order set iteration
+that reaches a file writer silently breaks the reproducibility contract
+the golden tests enforce.  This module classifies, per function:
+
+* **sources** — direct entropy: ``time.time``/``monotonic``/
+  ``perf_counter`` (and ``_ns`` variants), the bare ``random`` module,
+  legacy ``numpy.random`` module calls, ``default_rng()`` *without a
+  seed*, ``os.urandom``, ``uuid.uuid1/uuid4``, ``secrets.*``, and
+  iteration over a set (``for x in {...}`` / ``list(set(...))`` — set
+  order depends on ``PYTHONHASHSEED``;  ``sorted(set(...))`` is
+  deterministic and deliberately not a source);
+* **sinks** — artifact writes: ``json.dump``, ``pickle.dump``,
+  ``numpy`` save helpers, ``csv.writer``, ``Path.write_text`` /
+  ``write_bytes``, and ``open(..., "w"/"a")``.
+
+The pass itself (REPRO-ENTROPY001 in ``passes.py``) connects the two
+through the call graph: a sink whose enclosing function can reach a
+source is flagged with the witnessing chain.  Modules that exist to
+*sanction* entropy behind an injectable seam — ``repro.util.clock``
+(clocks are constructor-injected) and ``repro.util.rng`` (every stream
+is seed-derived) — are entropy-neutral by configuration, which is the
+documented soundness cut: determinism there is the caller's
+responsibility, discharged by passing a ``FakeClock`` / a seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["EntropySource", "ArtifactSink", "TaintScan", "scan_taint"]
+
+#: Dotted external calls that read entropy.
+ENTROPY_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: Module roots whose *any* call is an entropy draw.
+ENTROPY_MODULES = frozenset({"random", "secrets", "numpy.random", "np.random"})
+
+#: Dotted external calls that write artifacts.
+SINK_CALLS = frozenset(
+    {
+        "json.dump",
+        "pickle.dump",
+        "marshal.dump",
+        "numpy.save",
+        "numpy.savez",
+        "numpy.savetxt",
+        "np.save",
+        "np.savez",
+        "np.savetxt",
+        "csv.writer",
+        "csv.DictWriter",
+    }
+)
+
+#: Attribute calls that write artifacts regardless of receiver type.
+SINK_ATTRS = frozenset({"write_text", "write_bytes"})
+
+
+@dataclass(frozen=True, slots=True)
+class EntropySource:
+    """One direct entropy read inside a function body."""
+
+    desc: str
+    line: int
+
+
+@dataclass(frozen=True, slots=True)
+class ArtifactSink:
+    """One direct artifact write inside a function body."""
+
+    desc: str
+    line: int
+
+
+@dataclass(slots=True)
+class TaintScan:
+    """Per-function classification (nested defs included — they still run)."""
+
+    sources: list[EntropySource] = field(default_factory=list)
+    sinks: list[ArtifactSink] = field(default_factory=list)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Whether the expression is statically known to produce a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+def _open_write_mode(call: ast.Call) -> bool:
+    """``open(..., "w"/"a"/..b")`` — a writing open."""
+    mode: ast.expr | None = None
+    if len(call.args) >= 2:
+        mode = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if mode is None:
+        return False
+    return isinstance(mode, ast.Constant) and isinstance(mode.value, str) and any(
+        c in mode.value for c in ("w", "a", "x", "+")
+    )
+
+
+def _seedless_default_rng(call: ast.Call, expanded: str) -> bool:
+    if expanded not in {
+        "numpy.random.default_rng",
+        "np.random.default_rng",
+        "default_rng",
+    }:
+        return False
+    if call.args:
+        return isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is None
+    return True  # zero-argument default_rng() seeds from the OS
+
+
+def scan_taint(
+    body: list[ast.stmt], imports: dict[str, str]
+) -> TaintScan:
+    """Classify one function body's direct entropy sources and sinks.
+
+    ``imports`` is the module's alias table, so ``from time import time``
+    and ``import numpy as np`` both resolve.
+    """
+    scan = TaintScan()
+
+    def expand(dotted: str) -> str:
+        root, _, rest = dotted.partition(".")
+        target = imports.get(root)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    consumed_sets: set[int] = set()
+
+    for node in ast.walk(ast.Module(body=body, type_ignores=[])):
+        # Set-order consumption: iteration and order-preserving conversions.
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(node.iter):
+            if id(node.iter) not in consumed_sets:
+                consumed_sets.add(id(node.iter))
+                scan.sources.append(
+                    EntropySource("iteration over a set (hash order)", node.iter.lineno)
+                )
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"list", "tuple", "enumerate", "iter"}
+            and node.args
+            and _is_set_expr(node.args[0])
+        ):
+            if id(node.args[0]) not in consumed_sets:
+                consumed_sets.add(id(node.args[0]))
+                scan.sources.append(
+                    EntropySource(
+                        f"{node.func.id}() over a set (hash order)", node.lineno
+                    )
+                )
+
+        if not isinstance(node, ast.Call):
+            continue
+        dotted = _dotted(node.func)
+        if dotted is None:
+            continue
+        expanded = expand(dotted)
+
+        if expanded in ENTROPY_CALLS:
+            scan.sources.append(EntropySource(expanded, node.lineno))
+        elif _seedless_default_rng(node, expanded):
+            scan.sources.append(EntropySource(f"{expanded}() without a seed", node.lineno))
+        else:
+            root = expanded.rsplit(".", 1)[0] if "." in expanded else ""
+            if root in ENTROPY_MODULES or (
+                "." in root and root.rsplit(".", 1)[0] in ENTROPY_MODULES
+            ):
+                scan.sources.append(EntropySource(expanded, node.lineno))
+
+        if expanded in SINK_CALLS:
+            scan.sinks.append(ArtifactSink(expanded, node.lineno))
+        elif isinstance(node.func, ast.Attribute) and node.func.attr in SINK_ATTRS:
+            scan.sinks.append(ArtifactSink(f"*.{node.func.attr}", node.lineno))
+        elif expanded == "open" and _open_write_mode(node):
+            scan.sinks.append(ArtifactSink("open(mode='w')", node.lineno))
+
+    return scan

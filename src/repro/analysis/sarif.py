@@ -1,0 +1,112 @@
+"""SARIF 2.1.0 reporter: findings as a GitHub-code-scanning document.
+
+SARIF (Static Analysis Results Interchange Format) is the format GitHub
+renders as inline code-scanning annotations, so CI can upload the
+analyzer's output as an artifact (or to the code-scanning API) and
+reviewers see findings on the diff instead of in a log.  One run per
+document, one ``result`` per finding; the line-independent baseline
+fingerprint rides along as a ``partialFingerprints`` entry, and a
+whole-program finding's call-chain witness is attached both as a result
+property and as a ``codeFlows`` thread so viewers that understand flows
+can render the chain step by step.
+
+The document is deterministic: rules are sorted by id, results keep the
+engine's stable finding order, and keys are emitted sorted — two runs
+over the same tree are byte-identical, which is what lets the golden
+test pin the format.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["render_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/schemas/"
+    "sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_descriptor(finding: Finding) -> dict[str, object]:
+    """One ``reportingDescriptor`` derived from a representative finding."""
+    return {
+        "id": finding.rule_id,
+        "name": finding.rule_name,
+        "defaultConfiguration": {"level": _LEVELS[finding.severity]},
+    }
+
+
+def _location(finding: Finding) -> dict[str, object]:
+    """The finding's physical location (line 1 when the rule has none)."""
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": finding.path, "uriBaseId": "PROJECTROOT"},
+            "region": {"startLine": max(finding.line, 1)},
+        }
+    }
+
+
+def _code_flow(finding: Finding) -> dict[str, object]:
+    """The witness chain as a single-thread code flow (qualname per step)."""
+    steps = [
+        {
+            "location": {
+                "physicalLocation": _location(finding)["physicalLocation"],
+                "message": {"text": qualname},
+            }
+        }
+        for qualname in finding.witness
+    ]
+    return {"threadFlows": [{"locations": steps}]}
+
+
+def render_sarif(findings: Sequence[Finding], *, suppressed: int = 0) -> str:
+    """A complete SARIF 2.1.0 document for the given (post-baseline) findings."""
+    rules: dict[str, dict[str, object]] = {}
+    for finding in findings:
+        rules.setdefault(finding.rule_id, _rule_descriptor(finding))
+    rule_order = sorted(rules)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_order)}
+
+    results: list[dict[str, object]] = []
+    for finding in findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "ruleIndex": rule_index[finding.rule_id],
+            "level": _LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [_location(finding)],
+            "partialFingerprints": {"reproAnalysis/v1": finding.fingerprint()},
+        }
+        if finding.symbol:
+            result["properties"] = {"symbol": finding.symbol}
+        if finding.witness:
+            result.setdefault("properties", {})["witness"] = list(finding.witness)  # type: ignore[union-attr]
+            result["codeFlows"] = [_code_flow(finding)]
+        results.append(result)
+
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": [rules[rule_id] for rule_id in rule_order],
+                    }
+                },
+                "results": results,
+                "properties": {"suppressedByBaseline": suppressed},
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

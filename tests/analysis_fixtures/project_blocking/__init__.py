@@ -1,0 +1,1 @@
+"""Known-bad specimens for the REPRO-BLOCK001 whole-program pass."""

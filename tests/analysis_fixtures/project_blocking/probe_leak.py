@@ -1,0 +1,58 @@
+"""Synthetic replay of the circuit-breaker probe-slot leak pattern.
+
+The real bug this models: a breaker consulted its fault injector and
+submitted probe work to a pool *while still holding its own lock*, so a
+slow injector filter (or a pool at capacity) stalled every caller of the
+breaker — and a probe that errored before release leaked the slot.  The
+fix moved the injector consultation and the submit outside the lock;
+REPRO-BLOCK001 exists so the pattern cannot quietly come back.
+"""
+
+import threading
+
+
+class FaultInjector:
+    def fire(self, site):
+        return False
+
+
+INJECTOR = FaultInjector()
+
+
+class ProbePool:
+    def submit(self, fn):
+        return fn()
+
+
+class LeakyBreaker:
+    """Everything wrong at once: injector, submit and result under lock."""
+
+    def __init__(self, pool):
+        self._lock = threading.Lock()
+        self._pool = pool
+        self._probing = False
+
+    def allow(self):
+        with self._lock:
+            if INJECTOR.fire("breaker.allow"):
+                return False
+            self._probing = True
+            fut = self._pool.submit(lambda: True)
+            return fut.result()
+
+
+class Throttler:
+    """Interprocedural variant: the sleep hides one call away."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._interval = 0.01
+
+    def tick(self):
+        with self._lock:
+            self._backoff()
+
+    def _backoff(self):
+        import time
+
+        time.sleep(self._interval)

@@ -1,0 +1,1 @@
+"""Adversarial call-graph shapes: cycles, decorators, dispatch, breakage."""

@@ -1,0 +1,20 @@
+"""Decorated functions keep their identity and their outgoing edges."""
+
+import functools
+
+
+def logged(fn):
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+@logged
+def compute(x):
+    return helper(x)
+
+
+def helper(x):
+    return x + 1

@@ -1,0 +1,15 @@
+"""Untyped receiver: dynamic dispatch over-approximates to both ``ship``s."""
+
+
+class Freighter:
+    def ship(self, cargo):
+        return ["freight", cargo]
+
+
+class Courier:
+    def ship(self, cargo):
+        return ["courier", cargo]
+
+
+def send(carrier, cargo):
+    return carrier.ship(cargo)

@@ -1,0 +1,17 @@
+"""Mutual and direct recursion — the fixpoint must converge, not spin."""
+
+
+def even(n):
+    if n == 0:
+        return True
+    return odd(n - 1)
+
+
+def odd(n):
+    if n == 0:
+        return False
+    return even(n - 1)
+
+
+def loop(n):
+    return loop(n - 1) if n else 0

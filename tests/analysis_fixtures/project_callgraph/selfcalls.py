@@ -1,0 +1,14 @@
+"""``self.m()`` resolves through the MRO plus subclass overrides."""
+
+
+class Base:
+    def run(self):
+        return self.step()
+
+    def step(self):
+        return 0
+
+
+class Child(Base):
+    def step(self):
+        return 1

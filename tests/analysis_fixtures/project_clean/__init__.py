@@ -1,0 +1,1 @@
+"""Specimens every whole-program pass must leave alone (zero findings)."""

@@ -1,0 +1,46 @@
+"""The disciplined versions of everything the bad fixtures do wrong.
+
+Consistent lock order, blocking work outside the lock, sorted set
+serialization, and a seeded generator: the three passes must report
+nothing here.
+"""
+
+import json
+import threading
+import time
+from pathlib import Path
+
+_ALPHA_LOCK = threading.Lock()
+_BETA_LOCK = threading.Lock()
+
+
+def transfer():
+    with _ALPHA_LOCK:
+        with _BETA_LOCK:
+            return True
+
+
+def audit():
+    with _ALPHA_LOCK:
+        with _BETA_LOCK:
+            return False
+
+
+def compute():
+    return 42
+
+
+def paced():
+    with _ALPHA_LOCK:
+        value = compute()
+    slow_work()
+    return value
+
+
+def slow_work():
+    time.sleep(0.001)
+
+
+def write_sorted(items, target: Path):
+    labels = sorted(set(items))
+    target.write_text(json.dumps(labels))

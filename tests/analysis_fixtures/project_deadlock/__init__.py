@@ -1,0 +1,1 @@
+"""Known-bad specimens for the REPRO-DEADLOCK001 whole-program pass."""

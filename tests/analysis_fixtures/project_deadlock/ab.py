@@ -1,0 +1,40 @@
+"""AB-BA lock-order cycle crossing a dynamic-dispatch edge.
+
+``Left.forward`` takes ``Left._lock`` then (through the typed
+``self.right`` field) ``Right._lock``; ``Right.backward`` takes
+``Right._lock`` then reaches ``Left.forward`` through an untyped
+``peer`` parameter that only dynamic dispatch can connect.  Two threads
+running ``forward`` and ``backward`` concurrently deadlock.
+"""
+
+import threading
+
+
+class Left:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.right = Right()
+
+    def forward(self):
+        with self._lock:
+            self.right.grab()
+
+    def grab(self):
+        with self._lock:
+            return "left"
+
+
+class Right:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def grab(self):
+        with self._lock:
+            return "right"
+
+    def backward(self, peer):
+        with self._lock:
+            self._delegate(peer)
+
+    def _delegate(self, peer):
+        peer.forward()

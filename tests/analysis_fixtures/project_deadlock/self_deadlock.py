@@ -1,0 +1,22 @@
+"""Non-reentrant lock re-acquired through a helper: guaranteed hang.
+
+``Counter.bump`` holds the plain ``threading.Lock`` and calls
+``self._audit``, which acquires the same lock again.  A ``Lock`` (unlike
+``RLock``) does not nest, so the second ``with`` blocks forever.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def bump(self):
+        with self._lock:
+            self._audit()
+
+    def _audit(self):
+        with self._lock:
+            self.total += 1

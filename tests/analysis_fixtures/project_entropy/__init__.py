@@ -1,0 +1,1 @@
+"""Known-bad specimens for the REPRO-ENTROPY001 whole-program pass."""

@@ -1,0 +1,25 @@
+"""Entropy flowing into artifact writers — golden-file poison.
+
+``publish`` writes a payload whose ``generated`` field comes from
+``time.time()`` two calls away; ``leaky_order`` serializes labels in
+set-hash order.  Either one makes a byte-diffed golden flap.
+"""
+
+import json
+import time
+from pathlib import Path
+
+
+def stamp():
+    return time.time()
+
+
+def publish(target: Path):
+    payload = {"generated": stamp()}
+    target.write_text(json.dumps(payload))
+
+
+def leaky_order(rows, out_path):
+    labels = list({row[0] for row in rows})
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(labels, fh)

@@ -38,9 +38,50 @@ class TestCollection:
             (d / "drop.py").write_text("x = 1\n")
         assert [p.name for p in collect_python_files([tmp_path])] == ["keep.py"]
 
+    def test_hidden_files_skipped_not_just_hidden_dirs(self, tmp_path):
+        """Regression: the hidden check once looked only at parent parts,
+        so `.hidden.py` itself slipped through collection."""
+        (tmp_path / "keep.py").write_text("x = 1\n")
+        (tmp_path / ".hidden.py").write_text("x = 1\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / ".sneaky.py").write_text("x = 1\n")
+        (sub / "fine.py").write_text("x = 1\n")
+        names = [p.name for p in collect_python_files([tmp_path])]
+        assert sorted(names) == ["fine.py", "keep.py"]
+
     def test_missing_path_raises(self):
         with pytest.raises(ValidationError, match="no such file"):
             collect_python_files(["no/such/path"])
+
+
+class TestDisplayPaths:
+    def test_paths_anchor_to_project_root_not_cwd(self, tmp_path, monkeypatch):
+        """Regression: paths were relativized against cwd, so running the
+        gate from a subdirectory produced fingerprints that missed every
+        baseline entry written from the repo root."""
+        from repro.analysis.engine import display_path, find_project_root
+
+        (tmp_path / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        mod = pkg / "mod.py"
+        mod.write_text("x = 1\n")
+
+        monkeypatch.chdir(pkg)
+        assert find_project_root(mod) == tmp_path
+        assert display_path(Path("mod.py")) == "pkg/mod.py"
+        monkeypatch.chdir(tmp_path)
+        assert display_path(pkg / "mod.py") == "pkg/mod.py"
+
+    def test_paths_fall_back_to_cwd_without_a_project_root(self, tmp_path, monkeypatch):
+        pkg = tmp_path / "loose"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        from repro.analysis.engine import display_path
+
+        assert display_path(pkg / "mod.py") == "loose/mod.py"
 
 
 class TestEngine:
@@ -65,6 +106,8 @@ class TestEngine:
             "REPRO-API001",
             "REPRO-TRC001",
             "REPRO-DIST001",
+            # project_callgraph/broken.py is deliberately unparsable.
+            "REPRO-SYNTAX",
         }
 
 

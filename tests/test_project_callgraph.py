@@ -1,0 +1,109 @@
+"""Call-graph builder mechanics on the adversarial fixture shapes."""
+
+from pathlib import Path
+
+from repro.analysis.project import build_call_graph, build_index
+
+FIXTURES = Path(__file__).parent / "analysis_fixtures" / "project_callgraph"
+
+
+def graph():
+    return build_call_graph(build_index([FIXTURES]))
+
+
+class TestIndex:
+    def test_unparsable_file_reported_but_rest_indexed(self):
+        index = build_index([FIXTURES])
+        assert [f.rule_id for f in index.syntax_findings] == ["REPRO-SYNTAX"]
+        assert index.syntax_findings[0].path.endswith("broken.py")
+        # The other modules in the same tree are still fully indexed.
+        assert "recursion.even" in index.functions
+        assert "dispatch.Freighter.ship" in index.functions
+
+    def test_decorated_function_keeps_identity(self):
+        index = build_index([FIXTURES])
+        assert "decorated.compute" in index.functions
+        assert "decorated.logged" in index.functions
+
+    def test_methods_by_name_spans_classes(self):
+        index = build_index([FIXTURES])
+        assert set(index.methods_by_name["ship"]) == {
+            "dispatch.Freighter.ship",
+            "dispatch.Courier.ship",
+        }
+
+    def test_subclass_map_is_transitive(self):
+        index = build_index([FIXTURES])
+        assert index.subclasses["selfcalls.Base"] == {"selfcalls.Child"}
+
+
+class TestResolution:
+    def test_mutual_recursion_produces_cyclic_edges(self):
+        adjacency = graph().adjacency(include_deferred=False)
+        assert "recursion.odd" in adjacency["recursion.even"]
+        assert "recursion.even" in adjacency["recursion.odd"]
+        assert "recursion.loop" in adjacency["recursion.loop"]
+
+    def test_shortest_chain_through_recursion_terminates(self):
+        chain = graph().shortest_chain(
+            "recursion.even", "recursion.odd", include_deferred=False
+        )
+        assert chain == ["recursion.even", "recursion.odd"]
+
+    def test_decorated_function_keeps_outgoing_edges(self):
+        adjacency = graph().adjacency(include_deferred=False)
+        assert "decorated.helper" in adjacency["decorated.compute"]
+
+    def test_dynamic_dispatch_over_approximates_to_all_candidates(self):
+        g = graph()
+        sites = [s for s in g.sites["dispatch.send"] if s.targets]
+        assert len(sites) == 1
+        assert set(sites[0].targets) == {
+            "dispatch.Freighter.ship",
+            "dispatch.Courier.ship",
+        }
+        assert sites[0].dispatch == "dynamic"
+
+    def test_self_call_includes_subclass_overrides(self):
+        g = graph()
+        sites = [s for s in g.sites["selfcalls.Base.run"] if s.targets]
+        assert len(sites) == 1
+        assert set(sites[0].targets) == {
+            "selfcalls.Base.step",
+            "selfcalls.Child.step",
+        }
+        assert sites[0].dispatch == "self"
+
+    def test_ubiquitous_method_names_do_not_fan_out(self, tmp_path):
+        (tmp_path / "noisy.py").write_text(
+            "class Table:\n"
+            "    def get(self, key):\n"
+            "        return key\n"
+            "\n"
+            "def lookup(mapping):\n"
+            "    return mapping.get('x')\n"
+        )
+        g = build_call_graph(build_index([tmp_path]))
+        assert all(not s.targets for s in g.sites["noisy.lookup"])
+
+    def test_typed_attr_resolves_forward_reference(self, tmp_path):
+        (tmp_path / "fwd.py").write_text(
+            "class User:\n"
+            "    def __init__(self):\n"
+            "        self.helper = Helper()\n"
+            "    def run(self):\n"
+            "        return self.helper.work()\n"
+            "\n"
+            "class Helper:\n"
+            "    def work(self):\n"
+            "        return 1\n"
+            "\n"
+            "class Decoy:\n"
+            "    def work(self):\n"
+            "        return 2\n"
+        )
+        g = build_call_graph(build_index([tmp_path]))
+        sites = [s for s in g.sites["fwd.User.run"] if s.targets]
+        assert len(sites) == 1
+        assert sites[0].targets == ("fwd.Helper.work",)
+        assert sites[0].dispatch == "typed"

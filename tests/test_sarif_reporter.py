@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 reporter: structure, determinism, and the pinned golden."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import render_sarif
+from repro.analysis.findings import Finding, Severity
+
+GOLDEN = Path(__file__).parent / "goldens" / "analysis_sarif.json"
+
+
+def sample_findings():
+    return [
+        Finding(
+            rule_id="REPRO-BLOCK001",
+            rule_name="blocking-under-lock",
+            severity=Severity.ERROR,
+            path="src/repro/service/pool.py",
+            line=100,
+            message="blocking call 'submit' while holding '_lock'",
+            symbol="repro.service.pool.CoalescingPool.submit_or_join",
+            witness=(
+                "repro.service.pool.CoalescingPool.submit_or_join",
+                "repro.service.pool.CoalescingPool._admit",
+            ),
+        ),
+        Finding(
+            rule_id="REPRO-RNG001",
+            rule_name="rng-discipline",
+            severity=Severity.WARNING,
+            path="src/repro/workload.py",
+            line=12,
+            message="bare random.random() in seeded code",
+        ),
+    ]
+
+
+class TestStructure:
+    def test_rules_are_sorted_and_indexed(self):
+        doc = json.loads(render_sarif(sample_findings()))
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert [r["id"] for r in driver["rules"]] == [
+            "REPRO-BLOCK001",
+            "REPRO-RNG001",
+        ]
+        for result in doc["runs"][0]["results"]:
+            rule = driver["rules"][result["ruleIndex"]]
+            assert rule["id"] == result["ruleId"]
+
+    def test_fingerprint_and_location_ride_along(self):
+        doc = json.loads(render_sarif(sample_findings()))
+        result = doc["runs"][0]["results"][0]
+        assert result["partialFingerprints"]["reproAnalysis/v1"] == (
+            sample_findings()[0].fingerprint()
+        )
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "src/repro/service/pool.py"
+        assert location["region"]["startLine"] == 100
+
+    def test_witness_becomes_a_code_flow(self):
+        doc = json.loads(render_sarif(sample_findings()))
+        with_flow, without_flow = doc["runs"][0]["results"]
+        steps = with_flow["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert [s["location"]["message"]["text"] for s in steps] == list(
+            sample_findings()[0].witness
+        )
+        assert "codeFlows" not in without_flow
+
+    def test_suppressed_count_is_recorded(self):
+        doc = json.loads(render_sarif([], suppressed=7))
+        run = doc["runs"][0]
+        assert run["results"] == []
+        assert run["properties"]["suppressedByBaseline"] == 7
+
+
+class TestGolden:
+    def test_rendering_is_deterministic(self):
+        assert render_sarif(sample_findings()) == render_sarif(sample_findings())
+
+    def test_matches_the_committed_golden_document(self):
+        assert render_sarif(sample_findings()) + "\n" == GOLDEN.read_text()
