@@ -1,0 +1,98 @@
+"""Benchmark: sharded serving scaling and the published baseline gate.
+
+Two jobs:
+
+* regenerate the virtual-time shard sweep at benchmark scale and assert
+  the headline scaling property — **≥2x warm-cache throughput at 4
+  shards vs 1** (the committed ``BENCH_serving.json`` gate, here
+  re-measured rather than re-read);
+* sanity-check the committed ``BENCH_serving.json`` itself: the file CI
+  publishes must carry the same gate, declare its virtual-time mode and
+  cost model, and document a recovered chaos phase.
+
+The sweep is virtual-time (an explicit cost model, a fake clock), so
+these numbers are deterministic and machine-independent — this gate
+cannot flake on a loaded CI runner.  pytest-benchmark still times the
+real wall cost of driving one warm fleet pass through the router.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments import sharded_serving
+from repro.experiments.scenario import build_predictors
+from repro.service.loadgen import FleetConfig, FleetLoadGenerator
+from repro.util.clock import FakeClock
+
+BENCH_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serving.json"
+
+
+@pytest.fixture(scope="module")
+def historical(warm_ground_truth):
+    return build_predictors(fast=True)[0]
+
+
+@pytest.fixture(scope="module")
+def sweep(historical):
+    return sharded_serving.run_sweep(4_000, (1, 2, 4, 8), historical)
+
+
+def test_bench_shard_warm_speedup_gate(sweep, emit):
+    """4 warm shards must be at least 2x 1 warm shard (the PR gate)."""
+    rows = "\n".join(
+        f"  {n} shard(s): warm {sweep[str(n)]['warm']['throughput_rps']:>10.0f} rps "
+        f"({sweep[str(n)]['warm_speedup_vs_1']:.2f}x), "
+        f"bottleneck={sweep[str(n)]['warm']['bottleneck']}"
+        for n in (1, 2, 4, 8)
+    )
+    emit("bench_shard_sweep", "Virtual-time warm scaling:\n" + rows)
+    assert sweep["4"]["warm_speedup_vs_1"] >= 2.0
+    # Monotone non-degrading scaling across the published points.
+    assert sweep["2"]["warm_speedup_vs_1"] >= 1.0
+    assert sweep["8"]["warm_speedup_vs_1"] >= sweep["4"]["warm_speedup_vs_1"] * 0.99
+
+
+def test_bench_shard_cold_scales_with_shards(sweep):
+    """Cold (compute-bound) throughput grows with shard count."""
+    cold = [sweep[str(n)]["cold"]["throughput_rps"] for n in (1, 2, 4, 8)]
+    assert cold == sorted(cold)
+    assert cold[2] >= 2.0 * cold[0]
+
+
+def test_bench_shard_warm_fleet_wall_cost(benchmark, historical):
+    """Wall cost of one warm virtual-time fleet pass (real routing work)."""
+    clock = FakeClock()
+    cluster = sharded_serving.build_cluster(4, historical, clock=clock)
+    config = FleetConfig(users=2_000_000, requests=1_000, seed=2004)
+    generator = FleetLoadGenerator(
+        cluster, config, on_request=lambda _n, _ok: clock.advance(0.05)
+    )
+    with cluster:
+        generator.run()  # warm every L1 once
+        report = benchmark(generator.run)
+    assert report.outcomes == {"l1_hit": 1_000}
+
+
+def test_committed_bench_serving_artifact_is_valid():
+    """BENCH_serving.json: mode + cost model declared, gates satisfied."""
+    data = json.loads(BENCH_PATH.read_text())
+    assert data["mode"] == "virtual-time"
+    assert data["fleet"]["users"] >= 1_000_000
+    assert set(data["cost_model"]) >= {"route_us", "l1_hit_us", "l2_hit_us", "compute_ms"}
+    assert data["shard_counts"] == [1, 2, 4, 8]
+    sweep = data["sweep"]
+    assert sweep["4"]["warm_speedup_vs_1"] >= 2.0
+    for n in ("1", "2", "4", "8"):
+        for phase in ("cold", "warm"):
+            point = sweep[n][phase]
+            assert point["throughput_rps"] > 0
+            assert point["errors"] == 0
+            assert point["latency"]["p50_s"] <= point["latency"]["p99_s"]
+    chaos = data["chaos"]
+    assert chaos["breaker"]["opened"] and chaos["breaker"]["recovered"]
+    assert chaos["rebalanced"] and chaos["victim_served_after_recovery"]
+    assert chaos["errors"] == 0

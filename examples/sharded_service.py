@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Sharded serving: scaling the prediction service sideways.
+
+``examples/prediction_service.py`` made one serving stack affordable
+online; this example runs a *fleet* of them behind the consistent-hash
+router (:mod:`repro.service.shard`) and walks the four claims of the
+sharded design:
+
+1. **locality** — a quantized operating point always routes to the same
+   shard, so sharding keeps every L1 as hot as the single-service case;
+2. **two-tier caching** — a solve finished on one shard is an L2 hit
+   (not a fresh solve) for every other shard;
+3. **chaos** — kill a shard: its keys walk clockwise to the survivor,
+   the health board ejects it after ``failure_threshold`` errors, and
+   after the recovery window a probe re-closes the breaker and the
+   shard returns with its L1 intact;
+4. **virtual-time scaling** — a modelled fleet of two million
+   closed-loop clients (an explicit cost model on a fake clock, the
+   regime ``BENCH_serving.json`` publishes) shows warm throughput
+   scaling with shard count until the serial router binds.
+
+Run:  python examples/sharded_service.py
+
+Processes: pass ``--processes`` to host each shard in its own worker
+process (the GIL-escape topology) for stages 1-3; virtual-time scaling
+always uses the deterministic inline backend.
+"""
+
+import argparse
+import sys
+
+from repro.experiments.scenario import build_predictors
+from repro.servers import APP_SERV_S
+from repro.service import CostModel, FleetConfig, FleetLoadGenerator
+from repro.service.breaker import BreakerConfig
+from repro.service.service import PredictionService, ServiceConfig
+from repro.service.shard import (
+    InlineShardBackend,
+    ProcessShardBackend,
+    ShardConfig,
+    ShardSpec,
+    ShardedPredictionService,
+    SharedL2Cache,
+)
+from repro.service.shard.health import HealthConfig
+from repro.util.clock import FakeClock
+
+
+def build_inline_cluster(n_shards, primary, clock):
+    """An inline cluster over ``primary`` with one shared L2."""
+    l2 = SharedL2Cache(clock=clock.monotonic_s)
+
+    def factory(shard_id):
+        return PredictionService(
+            primary,
+            config=ServiceConfig(max_workers=1),
+            name=f"shard:{shard_id}",
+            clock=clock,
+            l2=l2,
+        )
+
+    backend = InlineShardBackend(tuple(f"s{i}" for i in range(n_shards)), factory)
+    config = ShardConfig(
+        health=HealthConfig(
+            breaker=BreakerConfig(failure_threshold=3, recovery_time_s=5.0)
+        )
+    )
+    return ShardedPredictionService(backend, config=config, clock=clock), backend
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--processes",
+        action="store_true",
+        help="host each shard in its own worker process for stages 1-3",
+    )
+    args = parser.parse_args(argv)
+
+    print("Calibrating the prediction methods (simulated testbed)...")
+    historical, _lqn, _hybrid, _ = build_predictors(fast=True)
+    server = APP_SERV_S.name
+    clock = FakeClock()
+
+    if args.processes:
+        print("\nStarting one worker process per shard...")
+        spec = ShardSpec(factory="repro.service.shard.testing:build_stub_service")
+        backend = ProcessShardBackend(("s0", "s1", "s2"), spec)
+        cluster = ShardedPredictionService(backend)
+    else:
+        cluster, backend = build_inline_cluster(3, historical, clock)
+
+    with cluster:
+        print("\n-- 1: routing locality ----------------------------------------")
+        first = cluster.serve_info("mrt", server, 800.0, 0.0)
+        again = cluster.serve_info("mrt", server, 800.0, 0.0)
+        print(f"  MRT at 800 clients: {first.value:.1f} ms")
+        print(f"  first serve : shard={first.shard} outcome={first.outcome}")
+        print(f"  second serve: shard={again.shard} outcome={again.outcome}")
+
+        print("\n-- 2: the cross-shard L2 --------------------------------------")
+        other = next(s for s in backend.shard_ids() if s != first.shard)
+        value, outcome = backend.request(other, "mrt", server, 800.0, 0.0)
+        print(f"  same key asked directly on shard {other}: outcome={outcome}")
+        assert value == first.value
+
+        print("\n-- 3: kill a shard, watch ejection and recovery ---------------")
+        owner = first.shard
+        backend.kill(owner)
+        for _ in range(3):
+            info = cluster.serve_info("mrt", server, 800.0, 0.0)
+        print(f"  after kill, served by shard={info.shard} (rerouted)")
+        print(f"  ejected: {sorted(cluster.health.ejected())}")
+        if not args.processes:
+            backend.revive(owner)
+            clock.advance(6.0)  # past the breaker's recovery window
+            probe = cluster.serve_info("mrt", server, 800.0, 0.0)
+            print(
+                f"  after recovery window: shard={probe.shard} "
+                f"outcome={probe.outcome} (keys returned, L1 intact)"
+            )
+        report = cluster.health_report()
+        print(f"  per-shard served: {report['served']}")
+
+    print("\n-- 4: virtual-time scaling (the BENCH_serving.json regime) ----")
+    print(f"  cost model: {CostModel().to_jsonable()}")
+    for n_shards in (1, 2, 4, 8):
+        sweep_clock = FakeClock()
+        sweep_cluster, _ = build_inline_cluster(n_shards, historical, sweep_clock)
+        config = FleetConfig(users=2_000_000, requests=2_000, seed=2004)
+        generator = FleetLoadGenerator(
+            sweep_cluster, config, on_request=lambda _n, _ok: sweep_clock.advance(0.05)
+        )
+        with sweep_cluster:
+            generator.run()  # cold pass warms every L1
+            warm = generator.run()
+        print(
+            f"  {n_shards} shard(s): warm {warm.throughput_rps:>9.0f} rps "
+            f"(bottleneck: {warm.bottleneck})"
+        )
+    print("\nDone. Full sweep + chaos report: "
+          "python -m repro.experiments.sharded_serving --fast")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

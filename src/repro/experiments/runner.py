@@ -41,6 +41,7 @@ EXPERIMENTS: dict[str, str] = {
     "tracing": "repro.experiments.tracing",
     "chaos": "repro.experiments.chaos",
     "workloads": "repro.experiments.workloads",
+    "sharded_serving": "repro.experiments.sharded_serving",
 }
 
 

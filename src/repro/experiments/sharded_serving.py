@@ -1,0 +1,397 @@
+"""The sharded-serving experiment: throughput scaling and shard chaos.
+
+Section 8.5 of the paper argues prediction *delay* decides what a
+resource manager can afford online; ``repro.experiments.serving``
+showed one service changing that arithmetic.  This experiment scales
+the service sideways — a consistent-hash ring of full serving stacks
+(:mod:`repro.service.shard`) under a modelled closed-loop fleet of
+**millions** of clients — and publishes the repo's serving baseline,
+``BENCH_serving.json``:
+
+* a **shard sweep** (1/2/4/8 shards): cold-cache and warm-cache
+  virtual-time throughput with p50/p95/p99, the binding bottleneck per
+  point (busiest shard vs. the serial router vs. the closed-loop think
+  bound), and the warm speedup over one shard — the CI gate asserts
+  ≥2x at 4 shards;
+* a **shard-chaos phase** (2 shards): a :class:`~repro.faults.plan.FaultPlan`
+  takes one shard down for a fake-clock window mid-run, and the report
+  documents ejection (the victim's breaker opens and the ring routes
+  around it), rebalance (the survivor absorbs the victim's keys) and
+  recovery (the breaker re-closes after the window and the victim
+  serves again, L1 intact).
+
+Determinism: requests are drawn from one seeded stream, every stack
+runs on a shared :class:`~repro.util.clock.FakeClock` advanced one tick
+per request, and *time is virtual* — charged per routing outcome from
+an explicit, published :class:`~repro.service.loadgen.CostModel`
+(``mode: "virtual-time"`` in the artifact; see DESIGN.md "Why a
+virtual-time serving benchmark").  Two runs produce byte-identical
+JSON; the CI ``sharded-serving`` job diffs them.
+
+Run directly::
+
+    python -m repro.experiments.sharded_serving --fast --json report.json
+    python -m repro.experiments.sharded_serving --bench BENCH_serving.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any
+
+from repro.experiments.scenario import SEED, ExperimentResult, build_predictors
+from repro.faults import FaultKind, FaultPlan, FaultSpec, INJECTOR
+from repro.servers.catalogue import APP_SERV_S
+from repro.service.breaker import BreakerConfig
+from repro.service.loadgen import CostModel, FleetConfig, FleetLoadGenerator
+from repro.service.service import PredictionService, ServiceConfig
+from repro.service.shard import (
+    InlineShardBackend,
+    ShardConfig,
+    ShardDownError,
+    ShardedPredictionService,
+    SharedL2Cache,
+)
+from repro.service.shard.health import HealthConfig
+from repro.util.clock import FakeClock
+from repro.util.tables import format_kv, format_table
+
+__all__ = [
+    "TICK_S",
+    "SHARD_COUNTS",
+    "shard_fault_plan",
+    "build_cluster",
+    "run_sweep",
+    "run_chaos",
+    "run",
+    "main",
+]
+
+#: Fake-clock seconds advanced after every fleet request — the
+#: experiment's unit of time; fault windows and breaker timings below
+#: are expressed in these ticks.
+TICK_S = 0.05
+
+#: The published sweep points (shard counts).
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+def _fleet_config(requests: int) -> FleetConfig:
+    """The canonical fleet: 2M modelled users over the paper's scenario.
+
+    Think time and population are chosen so the closed-loop bound
+    (``requests * think / users``) sits *below* the warm-path busy
+    times — the sweep then measures the serving stack, not the fleet's
+    appetite — while still being reported per point so a think-bound
+    configuration is visible, not silent.
+    """
+    return FleetConfig(
+        users=2_000_000,
+        requests=requests,
+        think_time_s=2.0,
+        servers=(APP_SERV_S.name,),
+        client_range=(100, 1100),
+        operation_weights=(("mrt", 0.8), ("throughput", 0.2)),
+        seed=SEED,
+        cost_model=CostModel(),
+    )
+
+
+def build_cluster(
+    n_shards: int,
+    primary,
+    *,
+    clock: FakeClock,
+    breaker: BreakerConfig | None = None,
+) -> ShardedPredictionService:
+    """One inline cluster of ``n_shards`` full stacks over ``primary``.
+
+    Every shard gets its own L1 (the default grid) and all share one
+    TTL-coherent L2 on the same fake clock; the router quantizes with
+    the same grid before hashing, so routing preserves cache locality.
+    """
+    l2 = SharedL2Cache(ttl_s=None, clock=clock.monotonic_s)
+
+    def factory(shard_id: str) -> PredictionService:
+        return PredictionService(
+            primary,
+            config=ServiceConfig(max_workers=1),
+            name=f"shard:{shard_id}",
+            clock=clock,
+            l2=l2,
+        )
+
+    shard_ids = tuple(f"s{i}" for i in range(n_shards))
+    backend = InlineShardBackend(shard_ids, factory)
+    health = HealthConfig(
+        breaker=breaker
+        if breaker is not None
+        else BreakerConfig(failure_threshold=3, recovery_time_s=10 * TICK_S)
+    )
+    return ShardedPredictionService(
+        backend,
+        config=ShardConfig(health=health),
+        clock=clock,
+        name=f"cluster[{n_shards}]",
+    )
+
+
+def run_sweep(requests: int, shard_counts: tuple[int, ...], primary) -> dict[str, Any]:
+    """Cold + warm fleet runs per shard count; returns the sweep table.
+
+    "Cold" is the first pass over the seeded stream (caches empty),
+    "warm" an identical second pass (every key resident in L1).  The
+    same stream hits every shard count, so the only variable is the
+    ring.
+    """
+    sweep: dict[str, Any] = {}
+    for n_shards in shard_counts:
+        clock = FakeClock()
+        config = _fleet_config(requests)
+        with build_cluster(n_shards, primary, clock=clock) as cluster:
+            generator = FleetLoadGenerator(
+                cluster, config, on_request=lambda _n, _ok: clock.advance(TICK_S)
+            )
+            cold = generator.run()
+            warm = generator.run()
+            sweep[str(n_shards)] = {
+                "cold": cold.to_jsonable(),
+                "warm": warm.to_jsonable(),
+                "per_shard_served": cluster.per_shard_served(),
+            }
+    baseline = sweep[str(shard_counts[0])]["warm"]["throughput_rps"]
+    for n_shards in shard_counts:
+        point = sweep[str(n_shards)]
+        point["warm_speedup_vs_1"] = (
+            point["warm"]["throughput_rps"] / baseline if baseline > 0 else 0.0
+        )
+    return sweep
+
+
+def shard_fault_plan(
+    victim: str, fault_window_s: tuple[float, float], *, seed: int
+) -> FaultPlan:
+    """A plan that takes exactly one shard down for the window.
+
+    Inside the window every request routed to ``victim`` raises
+    :class:`~repro.service.shard.ShardDownError` at the per-shard fault
+    site before the shard's service is touched — an outage, not a slow
+    shard — so the router's health board sees precisely the failures
+    the plan scheduled.
+    """
+    return FaultPlan(
+        name="shard-outage",
+        description=(
+            f"shard {victim!r} is down for the whole window; the ring must "
+            "route its keys to the survivor, the health board must eject it, "
+            "and recovery must follow the window"
+        ),
+        seed=seed,
+        error_rate_ceiling=0.0,  # rerouting answers every request
+        specs=(
+            FaultSpec(
+                site=f"service.shard.{victim}",
+                kind=FaultKind.ERROR,
+                name="shard-down",
+                error=ShardDownError,
+                message="injected shard outage",
+                time_window=fault_window_s,
+            ),
+        ),
+    )
+
+
+def run_chaos(requests: int, primary) -> dict[str, Any]:
+    """One 2-shard fleet run with a mid-run shard outage; the recovery report.
+
+    The fault window covers the middle half of the run.  Per-shard
+    served counts are snapshotted at both window boundaries (via the
+    per-request hook, so one seeded run yields before/during/after
+    deltas), and the victim's breaker transition log provides the
+    ejection and recovery timestamps.
+    """
+    victim = "s0"
+    window = (0.25 * requests * TICK_S, 0.75 * requests * TICK_S)
+    plan = shard_fault_plan(victim, window, seed=SEED)
+    clock = FakeClock()
+    marks: dict[str, dict[str, int]] = {}
+    with build_cluster(2, primary, clock=clock) as cluster:
+
+        def on_request(completed: int, _ok: bool) -> None:
+            clock.advance(TICK_S)
+            if completed == int(0.25 * requests):
+                marks["window_open"] = cluster.per_shard_served()
+            elif completed == int(0.75 * requests):
+                marks["window_close"] = cluster.per_shard_served()
+
+        generator = FleetLoadGenerator(
+            cluster, _fleet_config(requests), on_request=on_request
+        )
+        INJECTOR.arm(plan, clock=clock, sleep=clock.advance)
+        try:
+            report = generator.run()
+        finally:
+            injected = INJECTOR.disarm()
+        final = cluster.per_shard_served()
+        transitions = cluster.health.breaker(victim).transitions()
+        health = cluster.health_report()
+
+    survivor = "s1"
+    during = {
+        shard: marks["window_close"][shard] - marks["window_open"][shard]
+        for shard in final
+    }
+    after = {shard: final[shard] - marks["window_close"][shard] for shard in final}
+    opened = [t for t in transitions if t[2] == "open"]
+    recovered = bool(opened) and bool(transitions) and transitions[-1][2] == "closed"
+    first_opened_at_s = opened[0][0] if opened else None
+    reclosed_at_s = transitions[-1][0] if recovered else None
+    return {
+        "plan": plan.describe(),
+        "injected": injected,
+        "victim": victim,
+        "survivor": survivor,
+        "fault_window_s": list(window),
+        "requests": requests,
+        "errors": report.errors,
+        "error_rate_ceiling": plan.error_rate_ceiling,
+        "within_ceiling": report.errors <= plan.error_rate_ceiling * requests,
+        "served_during_window": dict(sorted(during.items())),
+        "served_after_window": dict(sorted(after.items())),
+        "rebalanced": during[survivor] > during[victim],
+        "victim_served_after_recovery": after[victim] > 0,
+        "ejected_at_end": health["ejected"],
+        "breaker": {
+            "transitions": [[at_s, old, new] for at_s, old, new in transitions],
+            "opened": bool(opened),
+            "recovered": recovered,
+            "first_opened_at_s": first_opened_at_s,
+            "reclosed_at_s": reclosed_at_s,
+            "time_to_recover_s": (
+                reclosed_at_s - first_opened_at_s if recovered else None
+            ),
+        },
+        "outcomes": dict(sorted(report.outcomes.items())),
+    }
+
+
+def run(fast: bool = False, shard_counts: tuple[int, ...] = SHARD_COUNTS) -> ExperimentResult:
+    """Run the shard sweep and the chaos phase; render + return both."""
+    historical, _lqn, _hybrid, _ = build_predictors(fast=fast)
+    requests = 2_000 if fast else 8_000
+    sweep = run_sweep(requests, shard_counts, historical)
+    chaos = run_chaos(max(400, requests // 4), historical)
+
+    config = _fleet_config(requests)
+    data = {
+        "mode": "virtual-time",
+        "seed": SEED,
+        "tick_s": TICK_S,
+        "requests": requests,
+        "fleet": {
+            "users": config.users,
+            "think_time_s": config.think_time_s,
+            "servers": list(config.servers),
+            "client_range": list(config.client_range),
+        },
+        "cost_model": config.cost_model.to_jsonable(),
+        "shard_counts": list(shard_counts),
+        "sweep": sweep,
+        "chaos": chaos,
+    }
+
+    rows = []
+    for n_shards in shard_counts:
+        point = sweep[str(n_shards)]
+        rows.append(
+            (
+                n_shards,
+                f"{point['cold']['throughput_rps']:.0f}",
+                f"{point['warm']['throughput_rps']:.0f}",
+                f"{point['warm_speedup_vs_1']:.2f}x",
+                f"{point['warm']['latency']['p99_s'] * 1e6:.0f}",
+                point["warm"]["bottleneck"],
+            )
+        )
+    sweep_table = format_table(
+        ["shards", "cold rps", "warm rps", "warm speedup", "warm p99 (µs)", "bottleneck"],
+        rows,
+        title=(
+            f"Virtual-time serving sweep ({config.users:,} modelled users, "
+            f"{requests} requests, seed {SEED})"
+        ),
+    )
+    breaker = chaos["breaker"]
+    chaos_summary = format_kv(
+        {
+            "victim / survivor": f"{chaos['victim']} / {chaos['survivor']}",
+            "fault window (s)": (
+                f"[{chaos['fault_window_s'][0]:.2f}, {chaos['fault_window_s'][1]:.2f})"
+            ),
+            "request errors (ceiling)": (
+                f"{chaos['errors']} ({chaos['error_rate_ceiling']:.2f})"
+            ),
+            "served during window (victim/survivor)": (
+                f"{chaos['served_during_window'][chaos['victim']]} / "
+                f"{chaos['served_during_window'][chaos['survivor']]}"
+            ),
+            "victim ejected (breaker opened)": breaker["opened"],
+            "victim recovered (breaker re-closed)": breaker["recovered"],
+            "time to recover (s)": (
+                f"{breaker['time_to_recover_s']:.2f}"
+                if breaker["time_to_recover_s"] is not None
+                else "n/a"
+            ),
+            "victim served after recovery": chaos["victim_served_after_recovery"],
+        },
+        title="Shard chaos (2 shards, one injected outage)",
+    )
+    return ExperimentResult(
+        experiment_id="sharded_serving",
+        title="Sharded serving: virtual-time scaling sweep and shard chaos",
+        rendered=sweep_table + "\n\n" + chaos_summary,
+        data=data,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: run the experiment, optionally dump artifacts.
+
+    ``--json PATH`` writes the full report as canonically sorted JSON
+    (the CI job runs this twice and byte-diffs the files); ``--bench
+    PATH`` writes the published benchmark baseline (same content, same
+    canonical encoding — committed as ``BENCH_serving.json``);
+    ``--shards`` limits the sweep points.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.sharded_serving",
+        description="Run the sharded-serving scaling sweep and shard chaos.",
+    )
+    parser.add_argument("--fast", action="store_true", help="fast, smaller profile")
+    parser.add_argument(
+        "--json", metavar="PATH", help="write the full report as sorted JSON"
+    )
+    parser.add_argument(
+        "--bench", metavar="PATH", help="write the benchmark baseline JSON"
+    )
+    parser.add_argument(
+        "--shards",
+        default=",".join(str(n) for n in SHARD_COUNTS),
+        help="comma-separated shard counts to sweep (default: 1,2,4,8)",
+    )
+    args = parser.parse_args(argv)
+    shard_counts = tuple(int(part) for part in args.shards.split(",") if part)
+    result = run(fast=args.fast, shard_counts=shard_counts)
+    print(result.rendered)
+    for path in (args.json, args.bench):
+        if path:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(result.data, fh, sort_keys=True, indent=2)
+                fh.write("\n")
+            print(f"report written to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI dispatch
+    raise SystemExit(main())

@@ -15,7 +15,8 @@ fixed-bucket quantile export on top.
 from __future__ import annotations
 
 import threading
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.util.validation import require
 
@@ -25,6 +26,10 @@ __all__ = [
     "LatencyHistogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS_S",
+    "HistogramSnapshot",
+    "MetricsSnapshot",
+    "bucket_quantile",
+    "merge_snapshots",
 ]
 
 # Log-spaced bounds from 1 µs to 30 s: fine enough to separate a
@@ -33,6 +38,42 @@ __all__ = [
 DEFAULT_LATENCY_BUCKETS_S: tuple[float, ...] = tuple(
     10.0 ** (e / 3.0) for e in range(-18, 5)
 ) + (30.0,)
+
+
+def bucket_quantile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    max_s: float,
+    q: float,
+) -> float:
+    """The fixed-bucket quantile estimator, as a pure function of bucket state.
+
+    Linear interpolation inside the bucket containing rank ``q * count``;
+    the overflow bucket reports ``max_s``.  Both the live
+    :class:`LatencyHistogram` and merged :class:`HistogramSnapshot`\\ s
+    delegate here, so a quantile computed from merged per-shard buckets
+    is *identical* to the one a single histogram holding the union of
+    observations would report — merging cannot drift the percentiles.
+    """
+    require(0.0 <= q <= 1.0, "quantile must be in [0, 1]")
+    if count == 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0
+    for i, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        if cumulative + bucket_count >= rank:
+            if i >= len(bounds):  # overflow bucket
+                return max_s
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = min(bounds[i], max_s)
+            upper = max(upper, lower)
+            fraction = (rank - cumulative) / bucket_count
+            return lower + fraction * (upper - lower)
+        cumulative += bucket_count
+    return max_s  # pragma: no cover - defensive
 
 
 class Counter:
@@ -150,28 +191,15 @@ class LatencyHistogram:
     def quantile(self, q: float) -> float:
         """Estimated ``q``-quantile (seconds), 0 when empty.
 
-        Linear interpolation inside the bucket holding rank ``q * count``;
-        the overflow bucket reports the maximum observation seen.
+        Delegates to :func:`bucket_quantile` on a consistent snapshot of
+        the bucket state, so live and merged-snapshot quantiles share
+        one estimator.
         """
-        require(0.0 <= q <= 1.0, "quantile must be in [0, 1]")
         with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = q * self._count
-            cumulative = 0
-            for i, bucket_count in enumerate(self._counts):
-                if bucket_count == 0:
-                    continue
-                if cumulative + bucket_count >= rank:
-                    if i >= len(self._bounds):  # overflow bucket
-                        return self._max_s
-                    lower = self._bounds[i - 1] if i > 0 else 0.0
-                    upper = min(self._bounds[i], self._max_s)
-                    upper = max(upper, lower)
-                    fraction = (rank - cumulative) / bucket_count
-                    return lower + fraction * (upper - lower)
-                cumulative += bucket_count
-            return self._max_s  # pragma: no cover - defensive
+            counts = tuple(self._counts)
+            count = self._count
+            max_s = self._max_s
+        return bucket_quantile(self._bounds, counts, count, max_s, q)
 
     def percentiles(self) -> dict[str, float]:
         """The p50/p95/p99 export (seconds) the serving reports print."""
@@ -180,6 +208,17 @@ class LatencyHistogram:
             "p95_s": self.quantile(0.95),
             "p99_s": self.quantile(0.99),
         }
+
+    def snapshot(self) -> "HistogramSnapshot":
+        """A consistent, mergeable copy of the full bucket state."""
+        with self._lock:
+            return HistogramSnapshot(
+                bounds=self._bounds,
+                counts=tuple(self._counts),
+                count=self._count,
+                total_s=self._total_s,
+                max_s=self._max_s,
+            )
 
 
 class MetricsRegistry:
@@ -226,17 +265,146 @@ class MetricsRegistry:
         Histograms export ``<name>.count``, ``<name>.total_s``,
         ``<name>.mean_s``, ``<name>.max_s`` and the three standard
         percentiles, so a single dict carries the whole service state.
+        Equivalent to ``self.snapshot().export()`` — the snapshot path is
+        what cross-process merging uses, and the two must never drift.
+        """
+        return self.snapshot().export()
+
+    def snapshot(self) -> "MetricsSnapshot":
+        """A consistent, mergeable, picklable copy of every instrument.
+
+        This is the unit the sharded serving layer ships across process
+        boundaries: each shard worker snapshots its registry, the router
+        merges the snapshots associatively with :func:`merge_snapshots`,
+        and the merged percentiles are exact (see :func:`bucket_quantile`).
         """
         with self._lock:
             counters = dict(self._counters)
             gauges = dict(self._gauges)
             histograms = dict(self._histograms)
+        return MetricsSnapshot(
+            counters={name: counter.value for name, counter in sorted(counters.items())},
+            gauges={name: gauge.value for name, gauge in sorted(gauges.items())},
+            histograms={
+                name: histogram.snapshot()
+                for name, histogram in sorted(histograms.items())
+            },
+        )
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """The full, mergeable state of one fixed-bucket latency histogram.
+
+    Unlike the flat percentile export (which is *not* associative —
+    p95s cannot be averaged), the raw bucket counts merge exactly:
+    summing per-shard counts elementwise yields the histogram a single
+    process observing every request would hold, and quantiles computed
+    from the merged buckets equal single-histogram quantiles by
+    construction (both delegate to :func:`bucket_quantile`).
+    """
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]  # len(bounds) + 1: the last entry is overflow
+    count: int
+    total_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        """Mean observation (0 when empty)."""
+        return self.total_s / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (seconds) from the bucket state."""
+        return bucket_quantile(self.bounds, self.counts, self.count, self.max_s, q)
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard p50/p95/p99 export (seconds)."""
+        return {
+            "p50_s": self.quantile(0.50),
+            "p95_s": self.quantile(0.95),
+            "p99_s": self.quantile(0.99),
+        }
+
+    def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
+        """Elementwise-sum this snapshot with ``other`` (same buckets)."""
+        require(
+            self.bounds == other.bounds,
+            "cannot merge histograms with different bucket bounds",
+        )
+        return HistogramSnapshot(
+            bounds=self.bounds,
+            counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
+            count=self.count + other.count,
+            total_s=self.total_s + other.total_s,
+            max_s=max(self.max_s, other.max_s),
+        )
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """A plain-JSON rendering (for IPC and recovery reports)."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total_s": self.total_s,
+            "max_s": self.max_s,
+        }
+
+    @staticmethod
+    def from_jsonable(data: Mapping[str, Any]) -> "HistogramSnapshot":
+        """Rebuild a snapshot from :meth:`to_jsonable` output."""
+        return HistogramSnapshot(
+            bounds=tuple(float(b) for b in data["bounds"]),
+            counts=tuple(int(c) for c in data["counts"]),
+            count=int(data["count"]),
+            total_s=float(data["total_s"]),
+            max_s=float(data["max_s"]),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A point-in-time, mergeable copy of one registry's instruments.
+
+    Counters and histogram buckets merge associatively (sums); gauges
+    here are *extensive* quantities (queue depths, in-flight counts)
+    whose cluster-wide value is the sum over shards, so they merge by
+    summation too.  Anything non-additive (hit *rates*, breaker states)
+    is deliberately excluded from snapshots and derived after merging.
+    """
+
+    counters: dict[str, int] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, HistogramSnapshot] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """The associative merge of two snapshots."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        for name, value in other.gauges.items():
+            gauges[name] = gauges.get(name, 0.0) + value
+        histograms = dict(self.histograms)
+        for name, snap in other.histograms.items():
+            histograms[name] = (
+                histograms[name].merge(snap) if name in histograms else snap
+            )
+        return MetricsSnapshot(
+            counters=dict(sorted(counters.items())),
+            gauges=dict(sorted(gauges.items())),
+            histograms=dict(sorted(histograms.items())),
+        )
+
+    def export(self) -> dict[str, float]:
+        """The flat ``{metric_name: value}`` dict (registry-export shape)."""
         out: dict[str, float] = {}
-        for name, counter in sorted(counters.items()):
-            out[name] = counter.value
-        for name, gauge in sorted(gauges.items()):
-            out[name] = gauge.value
-        for name, histogram in sorted(histograms.items()):
+        for name, value in sorted(self.counters.items()):
+            out[name] = value
+        for name, value in sorted(self.gauges.items()):
+            out[name] = value
+        for name, histogram in sorted(self.histograms.items()):
             out[f"{name}.count"] = histogram.count
             out[f"{name}.total_s"] = histogram.total_s
             out[f"{name}.mean_s"] = histogram.mean_s
@@ -244,3 +412,41 @@ class MetricsRegistry:
             for key, value in histogram.percentiles().items():
                 out[f"{name}.{key}"] = value
         return out
+
+    def to_jsonable(self) -> dict[str, Any]:
+        """A plain-JSON rendering (for IPC and recovery reports)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: snap.to_jsonable()
+                for name, snap in sorted(self.histograms.items())
+            },
+        }
+
+    @staticmethod
+    def from_jsonable(data: Mapping[str, Any]) -> "MetricsSnapshot":
+        """Rebuild a snapshot from :meth:`to_jsonable` output."""
+        return MetricsSnapshot(
+            counters={str(k): int(v) for k, v in data["counters"].items()},
+            gauges={str(k): float(v) for k, v in data["gauges"].items()},
+            histograms={
+                str(k): HistogramSnapshot.from_jsonable(v)
+                for k, v in data["histograms"].items()
+            },
+        )
+
+
+def merge_snapshots(snapshots: Iterable[MetricsSnapshot]) -> MetricsSnapshot:
+    """Merge any number of registry snapshots into one (associatively).
+
+    The identity element is the empty snapshot, so merging zero
+    snapshots is well defined; merging N per-shard snapshots in any
+    grouping yields the same result because counter addition, gauge
+    addition, elementwise bucket sums and ``max`` are all associative
+    and commutative.
+    """
+    merged = MetricsSnapshot()
+    for snapshot in snapshots:
+        merged = merged.merge(snapshot)
+    return merged

@@ -1,0 +1,177 @@
+"""Consistent-hash routing of quantized prediction keys onto shards.
+
+The shard layer must not destroy the cache locality the quantized
+operating-point grid buys (`repro.service.cache`): the same grid cell
+must keep landing on the same shard so its L1 entry stays hot, and
+growing the fleet from N to N+1 shards must move only ~1/(N+1) of the
+cells, not reshuffle all of them (a modulo hash would cold-start every
+L1 on every resize).  A consistent-hash ring with virtual nodes gives
+both properties:
+
+* every shard owns ``vnodes`` pseudo-random arc segments of a 64-bit
+  ring, so ownership is near-uniform (the property test bounds the
+  chi-square statistic of the key distribution);
+* a key routes to the owner of the first token clockwise from its hash,
+  so adding/removing one shard only re-owns the arcs adjacent to that
+  shard's tokens — the resharding-stability property test asserts the
+  remapped fraction stays within ``1/N + epsilon``;
+* an *ejected* shard (health says it is down) is skipped by walking
+  further clockwise, which rehashes exactly its keys onto the surviving
+  successors and nothing else.
+
+Hashing uses :func:`hashlib.blake2b`, not Python's ``hash``: routing
+must agree across worker processes and runs (``PYTHONHASHSEED``
+randomizes ``str.__hash__`` per process, which would scatter every key
+on restart).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Iterator
+
+from repro.service.cache import CacheKey
+from repro.util.errors import ReproError
+from repro.util.validation import check_positive_int, require
+
+__all__ = ["NoShardAvailableError", "ConsistentHashRing", "ring_key"]
+
+
+class NoShardAvailableError(ReproError):
+    """Every shard on the ring is ejected (or the ring is empty)."""
+
+
+def _hash64(data: str) -> int:
+    """A process-stable 64-bit hash of ``data`` (blake2b, big-endian)."""
+    digest = hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def ring_key(key: CacheKey) -> str:
+    """The canonical routing string of one quantized cache key.
+
+    Built from the *quantized* fields, so every request inside one cache
+    grid cell routes identically — sharding preserves exactly the
+    locality the L1 cache exploits.
+    """
+    return f"{key.server}\x1f{key.kind}\x1f{key.operand_q}\x1f{key.buy_q}"
+
+
+class ConsistentHashRing:
+    """A consistent-hash ring with virtual nodes over named shards.
+
+    Not thread-safe by itself: the router mutates membership only under
+    its own lock, and routing reads a token list that membership changes
+    replace wholesale (so an in-progress route sees either the old or
+    the new ring, never a half-built one).
+    """
+
+    def __init__(self, shards: Iterable[str] = (), *, vnodes: int = 64):
+        check_positive_int(vnodes, "vnodes")
+        self._vnodes = vnodes
+        self._members: set[str] = set()
+        # Sorted (token_hash, shard) pairs; the shard name tie-breaks
+        # equal hashes deterministically.
+        self._tokens: list[tuple[int, str]] = []
+        for shard in shards:
+            self.add(shard)
+
+    @property
+    def vnodes(self) -> int:
+        """Virtual nodes per shard (fixed at construction)."""
+        return self._vnodes
+
+    def members(self) -> tuple[str, ...]:
+        """The shards currently on the ring, sorted."""
+        return tuple(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, shard: str) -> bool:
+        return shard in self._members
+
+    def add(self, shard: str) -> None:
+        """Place ``shard``'s virtual nodes on the ring (idempotent)."""
+        require(bool(shard), "shard name must be non-empty")
+        if shard in self._members:
+            return
+        self._members.add(shard)
+        tokens = list(self._tokens)
+        for i in range(self._vnodes):
+            tokens.append((_hash64(f"{shard}\x1f#{i}"), shard))
+        tokens.sort()
+        self._tokens = tokens
+
+    def remove(self, shard: str) -> None:
+        """Remove ``shard``'s virtual nodes from the ring (idempotent)."""
+        if shard not in self._members:
+            return
+        self._members.discard(shard)
+        self._tokens = [(h, s) for h, s in self._tokens if s != shard]
+
+    def shares(self) -> dict[str, float]:
+        """Fraction of the 64-bit hash space each member owns.
+
+        The exact stationary routing distribution for uniformly hashed
+        keys: each token owns the arc that ends at it (keys hash into an
+        arc and walk clockwise to its closing token).  The property
+        tests chi-square routed key counts against these expectations
+        and bound how far they drift from the ideal ``1/N`` (the drift
+        shrinks as ``1/sqrt(vnodes)``); reports use them to explain
+        per-shard load imbalance.
+        """
+        if not self._tokens:
+            return {}
+        space = float(2**64)
+        out = {shard: 0.0 for shard in self._members}
+        previous = self._tokens[-1][0] - 2**64  # wrap: arc into the first token
+        for token_hash, shard in self._tokens:
+            out[shard] += (token_hash - previous) / space
+            previous = token_hash
+        return out
+
+    def iter_route(
+        self, key: str, *, skip: frozenset[str] | set[str] = frozenset()
+    ) -> Iterator[str]:
+        """Yield the distinct owner candidates for ``key``, clockwise.
+
+        The first yielded shard is the key's primary owner; later ones
+        are the successors that inherit its keys when it is skipped
+        (ejected).  Shards in ``skip`` are never yielded.
+        """
+        tokens = self._tokens
+        if not tokens:
+            return
+        start = bisect.bisect_left(tokens, (_hash64(key), ""))
+        seen: set[str] = set()
+        for offset in range(len(tokens)):
+            _, shard = tokens[(start + offset) % len(tokens)]
+            if shard in seen or shard in skip:
+                continue
+            seen.add(shard)
+            yield shard
+
+    def route(
+        self, key: str, *, skip: frozenset[str] | set[str] = frozenset()
+    ) -> str:
+        """The first live owner of ``key`` (clockwise from its hash)."""
+        for shard in self.iter_route(key, skip=skip):
+            return shard
+        raise NoShardAvailableError(
+            f"no shard available for key {key!r}: "
+            f"{len(self._members)} member(s), {len(skip)} skipped"
+        )
+
+    def preference(
+        self, key: str, n: int, *, skip: frozenset[str] | set[str] = frozenset()
+    ) -> list[str]:
+        """The first ``n`` distinct owner candidates for ``key``."""
+        check_positive_int(n, "n")
+        owners: list[str] = []
+        for shard in self.iter_route(key, skip=skip):
+            owners.append(shard)
+            if len(owners) >= n:
+                break
+        return owners

@@ -1,0 +1,98 @@
+"""Importable shard-stack factories for tests, examples and workers.
+
+:class:`ProcessShardBackend` workers rebuild their serving stack from a
+dotted-path factory reference, so the factory must live in an importable
+module — closures defined inside a test function cannot cross a process
+boundary.  This module is that home: a deterministic, dependency-free
+stub predictor plus the canonical ``build_stub_service`` factory the
+process smoke tests, the chaos experiment and the examples all share.
+
+The stub's answers are pure functions of the request (plus an optional
+fixed per-call delay for wall-clock demos), so any two shards — in any
+process — agree on every value, which is what lets the double-run CI
+gate byte-diff cluster reports.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.prediction.interface import PredictionTimer
+from repro.service.service import PredictionService, ServiceConfig
+
+__all__ = ["DeterministicStubPredictor", "build_stub_service"]
+
+
+class DeterministicStubPredictor:
+    """A picklable, deterministic stand-in for a real prediction method.
+
+    Answers are smooth, server-dependent functions of the operating
+    point: distinct servers and distinct (quantized) operands give
+    distinct values, so cache-correctness bugs show up as wrong numbers
+    rather than silent agreement.  ``delay_s`` adds a fixed sleep per
+    computed answer (never per cache hit) for wall-clock throughput
+    demos; leave it 0.0 in deterministic tests.
+    """
+
+    def __init__(self, *, delay_s: float = 0.0, name: str = "stub"):
+        self.name = name
+        self.timer = PredictionTimer()
+        self.delay_s = delay_s
+
+    def _work(self) -> None:
+        if self.delay_s > 0.0:
+            time.sleep(self.delay_s)
+
+    @staticmethod
+    def _server_bias(server: str) -> float:
+        # Stable across processes and PYTHONHASHSEED values.
+        return float(sum(server.encode("utf-8")) % 97)
+
+    def predict_mrt_ms(
+        self, server: str, n_clients: float, *, buy_fraction: float = 0.0
+    ) -> float:
+        """Deterministic mean response time (ms) for the operating point."""
+        self._work()
+        return 100.0 + self._server_bias(server) + float(n_clients) + 1000.0 * buy_fraction
+
+    def predict_throughput(
+        self, server: str, n_clients: float, *, buy_fraction: float = 0.0
+    ) -> float:
+        """Deterministic throughput (req/s) for the operating point."""
+        self._work()
+        return (float(n_clients) + self._server_bias(server)) * 0.14 * (1.0 - buy_fraction)
+
+    def max_clients(
+        self, server: str, rt_goal_ms: float, *, buy_fraction: float = 0.0
+    ) -> int:
+        """Deterministic capacity under an SLA goal."""
+        self._work()
+        return max(
+            1, int(rt_goal_ms - 100.0 - self._server_bias(server) - 1000.0 * buy_fraction)
+        )
+
+
+def build_stub_service(
+    shard_id: str,
+    *,
+    delay_s: float = 0.0,
+    cache_entries: int = 4096,
+    cache_ttl_s: float | None = None,
+    max_workers: int = 2,
+) -> PredictionService:
+    """Build one shard's full serving stack around the stub predictor.
+
+    This is the factory the process backend references as
+    ``"repro.service.shard.testing:build_stub_service"``; the inline
+    backend can pass it directly.  The shard id lands in the service
+    name so merged traces and reports stay attributable.
+    """
+    return PredictionService(
+        DeterministicStubPredictor(delay_s=delay_s, name=f"stub[{shard_id}]"),
+        config=ServiceConfig(
+            max_workers=max_workers,
+            cache_entries=cache_entries,
+            cache_ttl_s=cache_ttl_s,
+        ),
+        name=f"shard:{shard_id}",
+    )

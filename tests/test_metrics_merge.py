@@ -1,0 +1,130 @@
+"""Tests for mergeable metrics snapshots (repro.service.metrics).
+
+The satellite these tests pin down: percentile export must not drift
+between a merged snapshot and a single registry that saw the union of
+observations.  Percentiles do not average — merging per-shard p99s is
+wrong by construction — so the snapshots merge raw bucket counts and
+recompute quantiles through the one shared estimator
+(:func:`~repro.service.metrics.bucket_quantile`).  The key assertions
+here are *exact equality*, not approximate closeness: merged must equal
+union bucket-for-bucket and quantile-for-quantile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    bucket_quantile,
+    merge_snapshots,
+)
+from repro.util.rng import spawn_rng
+
+
+def _populated_registry(name: str, samples) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("requests").inc(len(samples))
+    registry.counter(f"only.{name}").inc(3)
+    registry.gauge("pending").set(float(len(samples) % 7))
+    histogram = registry.histogram("latency")
+    for sample in samples:
+        histogram.observe(sample)
+    return registry
+
+
+def _samples(stream: str, count: int) -> list[float]:
+    rng = spawn_rng(2004, stream)
+    # Latencies spanning µs to seconds — many distinct buckets.
+    return [float(10.0 ** (rng.uniform(-6.0, 0.5))) for _ in range(count)]
+
+
+def test_merged_quantiles_equal_union_registry_exactly() -> None:
+    """merge(shards).quantile == union-registry.quantile, exactly."""
+    per_shard = [_samples(f"shard{i}", 400 + 50 * i) for i in range(4)]
+    shards = [_populated_registry(f"s{i}", s) for i, s in enumerate(per_shard)]
+    union = _populated_registry("union", [x for s in per_shard for x in s])
+
+    merged = merge_snapshots(shard.snapshot() for shard in shards)
+    union_hist = union.snapshot().histograms["latency"]
+    merged_hist = merged.histograms["latency"]
+
+    assert merged_hist.counts == union_hist.counts  # bucket-for-bucket
+    assert merged_hist.count == union_hist.count
+    assert merged_hist.max_s == union_hist.max_s
+    for q in (0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999):
+        assert merged_hist.quantile(q) == union_hist.quantile(q), f"q={q} drifted"
+    assert merged_hist.mean_s == pytest.approx(union_hist.mean_s, rel=1e-12)
+
+
+def test_merge_is_associative_and_identity_safe() -> None:
+    """(a+b)+c == a+(b+c); merging one snapshot is that snapshot."""
+    a, b, c = (
+        _populated_registry(n, _samples(n, 200)).snapshot() for n in ("a", "b", "c")
+    )
+    left = a.merge(b).merge(c)
+    right = a.merge(b.merge(c))
+    assert left.counters == right.counters
+    assert left.gauges == right.gauges
+    for name in left.histograms:
+        assert left.histograms[name].counts == right.histograms[name].counts
+        assert left.histograms[name].quantile(0.99) == right.histograms[
+            name
+        ].quantile(0.99)
+    only = merge_snapshots([a])
+    assert only.counters == a.counters
+    assert only.histograms["latency"].counts == a.histograms["latency"].counts
+    empty = merge_snapshots([])
+    assert empty.counters == {} and empty.histograms == {}
+
+
+def test_counters_sum_and_disjoint_keys_survive() -> None:
+    """Counters add; keys present in only one snapshot are preserved."""
+    a = _populated_registry("a", _samples("a2", 10)).snapshot()
+    b = _populated_registry("b", _samples("b2", 20)).snapshot()
+    merged = a.merge(b)
+    assert merged.counters["requests"] == 30
+    assert merged.counters["only.a"] == 3 and merged.counters["only.b"] == 3
+    assert merged.gauges["pending"] == a.gauges["pending"] + b.gauges["pending"]
+
+
+def test_snapshot_export_matches_live_registry_export() -> None:
+    """registry.export() and registry.snapshot().export() are identical."""
+    registry = _populated_registry("x", _samples("x", 300))
+    assert registry.export() == registry.snapshot().export()
+
+
+def test_jsonable_roundtrip_preserves_quantiles() -> None:
+    """to_jsonable/from_jsonable is lossless (the worker-IPC path)."""
+    snapshot = _populated_registry("w", _samples("w", 250)).snapshot()
+    restored = MetricsSnapshot.from_jsonable(snapshot.to_jsonable())
+    assert restored.counters == snapshot.counters
+    assert restored.gauges == snapshot.gauges
+    for name, histogram in snapshot.histograms.items():
+        other = restored.histograms[name]
+        assert other.counts == histogram.counts
+        assert other.quantile(0.95) == histogram.quantile(0.95)
+
+
+def test_merge_rejects_mismatched_bucket_bounds() -> None:
+    """Histograms with different bounds cannot be merged silently."""
+    first = LatencyHistogram((0.1, 1.0)).snapshot()
+    second = LatencyHistogram((0.2, 2.0)).snapshot()
+    with pytest.raises(Exception):
+        first.merge(second)
+
+
+def test_bucket_quantile_interpolates_and_handles_overflow() -> None:
+    """The shared estimator: interpolation in-bucket, max_s for overflow."""
+    bounds = (1.0, 2.0, 4.0)
+    # 10 observations in (1,2], none elsewhere; overflow bucket empty.
+    counts = (0, 10, 0, 0)
+    assert bucket_quantile(bounds, counts, 10, 2.0, 0.0) == pytest.approx(1.0)
+    assert bucket_quantile(bounds, counts, 10, 2.0, 1.0) == pytest.approx(2.0)
+    mid = bucket_quantile(bounds, counts, 10, 2.0, 0.5)
+    assert 1.0 < mid < 2.0
+    # All mass in the overflow bucket: the observed max is the answer.
+    overflow = (0, 0, 0, 5)
+    assert bucket_quantile(bounds, overflow, 5, 7.5, 0.99) == 7.5

@@ -65,6 +65,7 @@ def test_experiment_registry_complete():
         "tracing",
         "chaos",
         "workloads",
+        "sharded_serving",
     }
     assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,61 @@
+"""Chaos coverage for the sharded cluster (satellite of PR 8).
+
+Drives :func:`repro.experiments.sharded_serving.run_chaos` — a
+:mod:`repro.faults` plan that takes one shard down for a fake-clock
+window mid-run — twice, and asserts the two recovery reports are
+**byte-identical** after JSON canonicalization, on top of the three
+behavioural properties: the victim is ejected (breaker opens), the
+survivor absorbs its keys (rebalance), and the victim recovers and
+serves again after the window.
+
+A stub primary stands in for the calibrated predictors so the test is
+fast and hermetic; the experiment itself wires the same machinery to
+the paper-calibrated historical model.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.sharded_serving import run_chaos, run_sweep
+from repro.service.shard.testing import DeterministicStubPredictor
+
+
+def _chaos_report() -> dict:
+    return run_chaos(400, DeterministicStubPredictor())
+
+
+def test_chaos_report_documents_ejection_rebalance_recovery() -> None:
+    """The three acceptance properties of the shard-outage plan hold."""
+    report = _chaos_report()
+    assert report["errors"] == 0  # rerouting answered every request
+    assert report["within_ceiling"]
+    breaker = report["breaker"]
+    assert breaker["opened"], "the victim's breaker never opened (no ejection)"
+    assert breaker["recovered"], "the victim's breaker never re-closed"
+    assert breaker["first_opened_at_s"] >= report["fault_window_s"][0]
+    assert breaker["reclosed_at_s"] > report["fault_window_s"][0]
+    assert report["rebalanced"], "the survivor did not absorb the victim's keys"
+    victim = report["victim"]
+    assert report["served_during_window"][victim] <= 3  # only pre-ejection leaks
+    assert report["victim_served_after_recovery"]
+    assert report["ejected_at_end"] == []
+    assert report["injected"].get("shard-down", 0) > 0
+
+
+def test_chaos_report_is_byte_identical_across_runs() -> None:
+    """Two runs on fresh clusters and fresh fake clocks byte-match."""
+    first = json.dumps(_chaos_report(), sort_keys=True)
+    second = json.dumps(_chaos_report(), sort_keys=True)
+    assert first == second
+
+
+def test_sweep_is_deterministic_and_scales_warm_throughput() -> None:
+    """A small sweep byte-matches across runs and shows warm scaling."""
+    stub = DeterministicStubPredictor()
+    first = run_sweep(600, (1, 4), stub)
+    second = run_sweep(600, (1, 4), stub)
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+    # The benchmark gate's property at test scale: 4 warm shards beat 1.
+    assert first["4"]["warm_speedup_vs_1"] >= 2.0
+    assert first["1"]["warm"]["outcomes"] == {"l1_hit": 600}

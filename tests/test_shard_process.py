@@ -1,0 +1,103 @@
+"""Smoke tests for the multi-process shard backend (one worker per shard).
+
+Small by design — real subprocesses on CI are expensive — but they
+cover the full protocol surface once: serve through the router, shared
+L2 visibility across worker processes, snapshot shipping, trace
+merging, heartbeats, hard kill + ejection, and clean shutdown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.shard import (
+    ProcessShardBackend,
+    ShardSpec,
+    ShardedPredictionService,
+)
+from repro.service.shard.testing import DeterministicStubPredictor
+from repro.trace import TRACER, RingBufferSink
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """One 2-worker cluster shared by the module's tests (ordering matters)."""
+    spec = ShardSpec(
+        factory="repro.service.shard.testing:build_stub_service", trace=True
+    )
+    backend = ProcessShardBackend(("w0", "w1"), spec, request_timeout_s=30.0)
+    router = ShardedPredictionService(backend)
+    yield router, backend
+    router.shutdown()
+
+
+def test_serves_stub_values_through_worker_processes(cluster) -> None:
+    """Routed answers equal the stub's, so the IPC path is transparent."""
+    router, _ = cluster
+    stub = DeterministicStubPredictor()
+    assert router.predict_mrt_ms("shop", 60) == stub.predict_mrt_ms("shop", 60)
+    assert router.predict_throughput("shop", 40) == stub.predict_throughput("shop", 40)
+    assert router.max_clients("shop", 500.0) == stub.max_clients("shop", 500.0)
+
+
+def test_l2_is_shared_across_worker_processes(cluster) -> None:
+    """A value computed in one worker is an L2 hit for the other."""
+    router, backend = cluster
+    info = router.serve_info("mrt", "crossshard", 77.0, 0.0)
+    other = next(s for s in backend.shard_ids() if s != info.shard)
+    value, outcome = backend.request(other, "mrt", "crossshard", 77.0, 0.0)
+    assert value == info.value
+    assert outcome == "l2_hit"
+
+
+def test_snapshots_ship_and_merge(cluster) -> None:
+    """Worker snapshots cross the pipe and merge into cluster counters."""
+    router, backend = cluster
+    merged = router.snapshot()
+    shard_requests = sum(
+        backend.snapshot(s).counters.get("cache.requests", 0)
+        for s in backend.shard_ids()
+    )
+    assert merged.counters["cache.requests"] == shard_requests
+    assert merged.counters["router.requests"] >= 4
+
+
+def test_worker_traces_merge_into_one_timeline(cluster) -> None:
+    """Worker spans drain across the pipe into the parent's timeline."""
+    router, backend = cluster
+    router.predict_mrt_ms("traced", 50)
+    sink = RingBufferSink()
+    TRACER.enable(sink)
+    try:
+        merged = sum(
+            backend.drain_trace_into_timeline(s) for s in backend.shard_ids()
+        )
+    finally:
+        TRACER.disable()
+    assert merged > 0
+    events = sink.events()
+    assert events and all(e.name == "shard.worker_span" for e in events)
+    assert {e.attributes["shard"] for e in events} <= {"w0", "w1"}
+    assert any(e.attributes["span_name"] == "service.request" for e in events)
+
+
+def test_ping_and_kill_feed_health(cluster) -> None:
+    """Heartbeats pass while alive; a hard-killed worker gets ejected.
+
+    Runs last in the module (the fixture is module-scoped and this test
+    kills one of its workers).
+    """
+    router, backend = cluster
+    assert router.poll_health() == {"w0": True, "w1": True}
+    backend.kill("w0")
+    assert backend.ping("w0") is False
+    # Three failed heartbeat polls trip the dead worker's breaker even
+    # though no request happened to route to it.
+    for _ in range(3):
+        assert router.poll_health()["w0"] is False
+    assert "w0" in router.health.ejected()
+    for _ in range(4):  # every request still answers via the survivor
+        info = router.serve_info("mrt", "afterkill", 42.0, 0.0)
+        assert info.shard == "w1"
