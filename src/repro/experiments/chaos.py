@@ -46,6 +46,7 @@ from repro.service.loadgen import LoadGenConfig, LoadGenerator
 from repro.service.service import PredictionService, ServiceConfig
 from repro.util.clock import FakeClock
 from repro.util.errors import ConvergenceError
+from repro.util.floats import quantize_to_tick
 from repro.util.tables import format_kv, format_table
 
 __all__ = ["TICK_S", "default_fault_plan", "run", "main"]
@@ -102,8 +103,18 @@ def default_fault_plan(fault_window_s: tuple[float, float], *, seed: int) -> Fau
     )
 
 
-def _analyse_breaker(transitions: list[tuple[float, str, str]]) -> dict[str, Any]:
-    """Summarise the breaker's transition log into the recovery report."""
+def _analyse_breaker(
+    transitions: list[tuple[float, str, str]], *, tick_s: float = TICK_S
+) -> dict[str, Any]:
+    """Summarise the breaker's transition log into the recovery report.
+
+    Every timestamp the fake clock produced is a whole number of ticks,
+    so the report quantizes them (and the durations derived from them)
+    back onto the tick grid before they reach any serialised artifact.
+    """
+    transitions = [
+        (quantize_to_tick(at_s, tick_s), old, new) for at_s, old, new in transitions
+    ]
     opened = [t for t in transitions if t[2] == "open"]
     closed = [t for t in transitions if t[2] == "closed"]
     recovered = bool(opened) and bool(transitions) and transitions[-1][2] == "closed"
@@ -116,7 +127,9 @@ def _analyse_breaker(transitions: list[tuple[float, str, str]]) -> dict[str, Any
         "first_opened_at_s": first_opened_at_s,
         "reclosed_at_s": reclosed_at_s,
         "time_to_recover_s": (
-            reclosed_at_s - first_opened_at_s if recovered else None
+            quantize_to_tick(reclosed_at_s - first_opened_at_s, tick_s)
+            if recovered
+            else None
         ),
     }
 
@@ -186,8 +199,8 @@ def run(fast: bool = False) -> ExperimentResult:
         "seed": SEED,
         "tick_s": TICK_S,
         "requests": total_requests,
-        "total_s": total_s,
-        "fault_window_s": list(fault_window_s),
+        "total_s": quantize_to_tick(total_s, TICK_S),
+        "fault_window_s": [quantize_to_tick(t, TICK_S) for t in fault_window_s],
         "plan": plan.describe(),
         "injected": injected,
         "errors": load.errors,

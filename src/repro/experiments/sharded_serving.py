@@ -55,6 +55,7 @@ from repro.service.shard import (
 )
 from repro.service.shard.health import HealthConfig
 from repro.util.clock import FakeClock
+from repro.util.floats import quantize_to_tick
 from repro.util.tables import format_kv, format_table
 
 __all__ = [
@@ -243,6 +244,12 @@ def run_chaos(requests: int, primary) -> dict[str, Any]:
         for shard in final
     }
     after = {shard: final[shard] - marks["window_close"][shard] for shard in final}
+    # Timestamps leave the fake clock as sums of ticks with accumulated
+    # rounding noise; snap them (and derived durations) back onto the
+    # tick grid so the published report serialises cleanly.
+    transitions = [
+        (quantize_to_tick(at_s, TICK_S), old, new) for at_s, old, new in transitions
+    ]
     opened = [t for t in transitions if t[2] == "open"]
     recovered = bool(opened) and bool(transitions) and transitions[-1][2] == "closed"
     first_opened_at_s = opened[0][0] if opened else None
@@ -252,7 +259,7 @@ def run_chaos(requests: int, primary) -> dict[str, Any]:
         "injected": injected,
         "victim": victim,
         "survivor": survivor,
-        "fault_window_s": list(window),
+        "fault_window_s": [quantize_to_tick(t, TICK_S) for t in window],
         "requests": requests,
         "errors": report.errors,
         "error_rate_ceiling": plan.error_rate_ceiling,
@@ -269,7 +276,9 @@ def run_chaos(requests: int, primary) -> dict[str, Any]:
             "first_opened_at_s": first_opened_at_s,
             "reclosed_at_s": reclosed_at_s,
             "time_to_recover_s": (
-                reclosed_at_s - first_opened_at_s if recovered else None
+                quantize_to_tick(reclosed_at_s - first_opened_at_s, TICK_S)
+                if recovered
+                else None
             ),
         },
         "outcomes": dict(sorted(report.outcomes.items())),

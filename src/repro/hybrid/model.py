@@ -139,29 +139,38 @@ class AdvancedHybridModel:
             lower_fracs = _spread(LOWER_POINT_FRACTIONS, points_per_equation)
             upper_fracs = _spread(UPPER_POINT_FRACTIONS, points_per_equation)
 
+            # The whole (server × load-fraction) calibration grid is one
+            # sweep: collect every pseudo-historical point's model first,
+            # then batch-solve them together.  ``warm_start=False`` keeps
+            # each data point bit-identical to a per-point solve.
+            grid: list[tuple[str, int]] = []
+            grid_models: list[LqnModel] = []
             for arch in target_servers:
                 probe = build_trade_model(arch, typical_workload(100), parameters)
                 mx = lqn_max_throughput(probe)
                 max_throughputs[arch.name] = mx
                 n_at_max = mx / gradient
-                count = 0
                 for frac in (*lower_fracs, *upper_fracs):
                     n = max(1, int(round(frac * n_at_max)))
-                    model = build_trade_model(arch, typical_workload(n), parameters)
-                    solution = solver.solve(model)
-                    report.lqn_solves += 1
-                    store.add(
-                        HistoricalDataPoint(
-                            server=arch.name,
-                            n_clients=n,
-                            mean_response_ms=solution.mean_response_ms(),
-                            throughput_req_per_s=solution.total_throughput_req_per_s(),
-                            n_samples=1,
-                        )
+                    grid.append((arch.name, n))
+                    grid_models.append(
+                        build_trade_model(arch, typical_workload(n), parameters)
                     )
-                    count += 1
-                report.per_server_points[arch.name] = count
-                report.data_points += count
+                report.per_server_points[arch.name] = len(lower_fracs) + len(upper_fracs)
+                report.data_points += report.per_server_points[arch.name]
+
+            solutions = solver.solve_sweep(grid_models, warm_start=False)
+            report.lqn_solves += len(solutions)
+            for (server_name, n), solution in zip(grid, solutions):
+                store.add(
+                    HistoricalDataPoint(
+                        server=server_name,
+                        n_clients=n,
+                        mean_response_ms=solution.mean_response_ms(),
+                        throughput_req_per_s=solution.total_throughput_req_per_s(),
+                        n_samples=1,
+                    )
+                )
 
             mix_observations = None
             mix_server = None

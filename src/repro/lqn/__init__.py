@@ -30,10 +30,13 @@ from repro.lqn.model import (
     Task,
 )
 from repro.lqn.mva import (
+    MvaBatchInput,
+    MvaBatchSolution,
     MvaInput,
     MvaSolution,
     Station,
     StationKind,
+    solve_batch,
     solve_bard_schweitzer,
     solve_exact_single_class,
 )
@@ -60,10 +63,13 @@ __all__ = [
     "Processor",
     "Scheduling",
     "Task",
+    "MvaBatchInput",
+    "MvaBatchSolution",
     "MvaInput",
     "MvaSolution",
     "Station",
     "StationKind",
+    "solve_batch",
     "solve_bard_schweitzer",
     "solve_exact_single_class",
     "LqnSolution",

@@ -1,32 +1,44 @@
 """Mean Value Analysis cores for closed multiclass queueing networks.
 
-Two solvers:
+Three entry points:
 
 * :func:`solve_exact_single_class` — Reiser/Lavenberg exact MVA for a single
   closed class, including load-dependent multi-server stations.  Used for
   validating the approximate core and in unit tests against closed-form
   results (machine-repairman, M/M/1-with-think-time).
-* :func:`solve_bard_schweitzer` — multiclass Bard–Schweitzer approximate MVA
-  (fixed point on per-class queue lengths), the engine inside the layered
-  solver.  Multi-server stations use a scaled-queue approximation
-  (``R = D + (D/m)·A``), and *surrogate software stations* can be marked
-  ``waiting_only`` so only their queueing delay — not their (already counted
-  elsewhere) service — contributes to cycle response times.
+* :func:`solve_batch` — **the** multiclass Bard–Schweitzer approximate MVA
+  fixed point, vectorised over a whole *sweep* of networks at once: a batch
+  axis ``B`` sits in front of the usual class/station axes (``Q: (B, C, K)``)
+  so populations × request mixes × architectures iterate together.  Each
+  batch point carries its own convergence state — converged points freeze
+  (their iterates stop being updated, bit-for-bit) while stragglers keep
+  iterating — and an optional warm-start seeds the iterates from a
+  neighbouring, already-solved grid point.
+* :func:`solve_bard_schweitzer` — the single-network API, now literally a
+  batch of one: it stacks its input into a :class:`MvaBatchInput` of size 1
+  and unpacks :func:`solve_batch`'s first point, so there is exactly one
+  fixed-point implementation in the repository.
+
+Multi-server stations use a scaled-queue approximation
+(``R = D + (D/m)·A``), and *surrogate software stations* can be marked
+``waiting_only`` so only their queueing delay — not their (already counted
+elsewhere) service — contributes to cycle response times.
 
 Demands are expressed **per cycle** of each class (visit ratio × mean service
 time, in ms).  A class may additionally place *hidden* demand on a station:
 work that loads the station (asynchronous calls, second-phase service) but is
 not on the caller's response-time path.
 
-Implementation follows the HPC-python guides: the Bard–Schweitzer fixed point
-is fully vectorised over the (class × station) matrices.
+Implementation follows the HPC-python guides: every fixed-point step is one
+set of NumPy array operations over ``(B, C, K)``; per-point Python overhead
+is paid once per *sweep*, not once per network.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -38,6 +50,9 @@ __all__ = [
     "Station",
     "MvaInput",
     "MvaSolution",
+    "MvaBatchInput",
+    "MvaBatchSolution",
+    "solve_batch",
     "solve_bard_schweitzer",
     "solve_exact_single_class",
 ]
@@ -149,6 +164,20 @@ class MvaInput:
             return np.zeros(len(self.stations))
         return (rates[:, None] * self.open_demands).sum(axis=0) / servers
 
+    def structure_signature(self) -> tuple:
+        """A hashable key identifying the network *shape* of this input.
+
+        Two inputs with equal signatures describe the same stations,
+        closed classes and open classes (possibly with different demands,
+        populations or rates) and may therefore be stacked into one
+        :class:`MvaBatchInput`.
+        """
+        return (
+            tuple((s.name, s.kind, s.servers, s.waiting_only) for s in self.stations),
+            tuple(self.class_names),
+            tuple(self.open_class_names or ()),
+        )
+
 
 @dataclass
 class MvaSolution:
@@ -178,6 +207,430 @@ class MvaSolution:
         return float(self.utilisation[self.station_names.index(station_name)])
 
 
+@dataclass
+class MvaBatchInput:
+    """A *sweep* of closed multiclass networks sharing one structure.
+
+    All ``B`` points share the same stations, closed-class names and
+    open-class names; populations, think times, demands and open rates
+    carry a leading batch axis.  Build one from per-point
+    :class:`MvaInput` objects with :meth:`from_points` (the common
+    path), or construct the stacked arrays directly.
+    """
+
+    stations: list[Station]
+    class_names: list[str]
+    populations: np.ndarray  # (B, C)
+    think_times_ms: np.ndarray  # (B, C)
+    demands: np.ndarray  # (B, C, K)
+    hidden_demands: np.ndarray | None = None  # (B, C, K)
+    open_class_names: list[str] | None = None
+    open_rates_per_ms: np.ndarray | None = None  # (B, O)
+    open_demands: np.ndarray | None = None  # (B, O, K)
+
+    def __post_init__(self) -> None:
+        C = len(self.class_names)
+        K = len(self.stations)
+        self.populations = np.asarray(self.populations, dtype=float)
+        require(
+            self.populations.ndim == 2 and self.populations.shape[1] == C,
+            f"populations must be (B, C={C}), got {self.populations.shape}",
+        )
+        B = self.populations.shape[0]
+        self.think_times_ms = np.asarray(self.think_times_ms, dtype=float)
+        require(
+            self.think_times_ms.shape == (B, C),
+            f"think_times_ms must be (B={B}, C={C}), got {self.think_times_ms.shape}",
+        )
+        self.demands = np.asarray(self.demands, dtype=float)
+        require(
+            self.demands.shape == (B, C, K),
+            f"demands must be (B={B}, C={C}, K={K}), got {self.demands.shape}",
+        )
+        if self.hidden_demands is None:
+            self.hidden_demands = np.zeros_like(self.demands)
+        else:
+            self.hidden_demands = np.asarray(self.hidden_demands, dtype=float)
+            require(
+                self.hidden_demands.shape == self.demands.shape,
+                "hidden_demands shape mismatch",
+            )
+        if (self.demands < 0).any() or (self.hidden_demands < 0).any():
+            raise ValidationError("demands must be non-negative")
+        if (self.populations < 0).any():
+            raise ValidationError("populations must be >= 0")
+        if (self.think_times_ms < 0).any():
+            raise ValidationError("think times must be >= 0")
+
+        if self.open_class_names is None:
+            self.open_class_names = []
+        O = len(self.open_class_names)
+        if self.open_rates_per_ms is None:
+            self.open_rates_per_ms = np.zeros((B, O))
+        else:
+            self.open_rates_per_ms = np.asarray(self.open_rates_per_ms, dtype=float)
+        require(
+            self.open_rates_per_ms.shape == (B, O),
+            f"open_rates_per_ms must be (B={B}, O={O}), "
+            f"got {self.open_rates_per_ms.shape}",
+        )
+        if self.open_demands is None:
+            self.open_demands = np.zeros((B, O, K))
+        else:
+            self.open_demands = np.asarray(self.open_demands, dtype=float)
+        require(
+            self.open_demands.shape == (B, O, K),
+            f"open_demands must be (B={B}, O={O}, K={K}), got {self.open_demands.shape}",
+        )
+        if (self.open_demands < 0).any():
+            raise ValidationError("open demands must be non-negative")
+        if (self.open_rates_per_ms < 0).any():
+            raise ValidationError("open arrival rates must be >= 0")
+
+    @property
+    def batch_size(self) -> int:
+        """Number of sweep points in the batch."""
+        return int(self.populations.shape[0])
+
+    @classmethod
+    def from_points(cls, points: Sequence[MvaInput]) -> "MvaBatchInput":
+        """Stack per-point inputs (identical structure required) into a batch."""
+        require(len(points) > 0, "need at least one point to batch")
+        first = points[0]
+        signature = first.structure_signature()
+        for b, point in enumerate(points[1:], start=1):
+            if point.structure_signature() != signature:
+                raise ValidationError(
+                    f"batch point {b} has a different network structure than "
+                    "point 0; group points by MvaInput.structure_signature() "
+                    "before stacking"
+                )
+        return cls(
+            stations=list(first.stations),
+            class_names=list(first.class_names),
+            populations=np.array([p.populations for p in points], dtype=float),
+            think_times_ms=np.array([p.think_times_ms for p in points], dtype=float),
+            demands=np.stack([p.demands for p in points]),
+            hidden_demands=np.stack([p.hidden_demands for p in points]),
+            open_class_names=list(first.open_class_names or ()),
+            open_rates_per_ms=np.array(
+                [p.open_rates_per_ms for p in points], dtype=float
+            ).reshape(len(points), len(first.open_class_names or ())),
+            open_demands=np.stack([p.open_demands for p in points]),
+        )
+
+    def subset(self, indices: Sequence[int] | np.ndarray) -> "MvaBatchInput":
+        """A new batch holding only the given points (structure shared).
+
+        Re-validation is skipped — every array is a row-subset of this
+        already-validated batch, and the staged solver subsets once per
+        ladder stage.
+        """
+        idx = np.asarray(indices, dtype=int)
+        clone = object.__new__(MvaBatchInput)
+        clone.stations = self.stations
+        clone.class_names = self.class_names
+        clone.populations = self.populations[idx]
+        clone.think_times_ms = self.think_times_ms[idx]
+        clone.demands = self.demands[idx]
+        clone.hidden_demands = self.hidden_demands[idx]
+        clone.open_class_names = self.open_class_names
+        clone.open_rates_per_ms = self.open_rates_per_ms[idx]
+        clone.open_demands = self.open_demands[idx]
+        return clone
+
+    def open_utilisation_per_station(self) -> np.ndarray:
+        """ρ_open per point and station (per server), shape ``(B, K)``."""
+        servers = np.array([s.servers for s in self.stations], dtype=float)
+        if self.open_rates_per_ms.size == 0:
+            return np.zeros((self.batch_size, len(self.stations)))
+        return (self.open_rates_per_ms[:, :, None] * self.open_demands).sum(
+            axis=1
+        ) / servers
+
+
+@dataclass
+class MvaBatchSolution:
+    """Steady-state estimates for every point of one solved sweep."""
+
+    class_names: list[str]
+    station_names: list[str]
+    throughput_per_ms: np.ndarray  # (B, C)
+    cycle_response_ms: np.ndarray  # (B, C)
+    queue_lengths: np.ndarray  # (B, C, K)
+    residence_ms: np.ndarray  # (B, C, K)
+    utilisation: np.ndarray  # (B, K)
+    iterations: np.ndarray  # (B,) fixed-point steps until each point froze
+    open_response_ms: list[dict] = field(default_factory=list)  # one dict per point
+
+    @property
+    def batch_size(self) -> int:
+        """Number of sweep points in the solution."""
+        return int(self.throughput_per_ms.shape[0])
+
+    def solution(self, b: int) -> MvaSolution:
+        """Extract point ``b`` as a single-network :class:`MvaSolution`."""
+        return MvaSolution(
+            class_names=list(self.class_names),
+            station_names=list(self.station_names),
+            throughput_per_ms=self.throughput_per_ms[b].copy(),
+            cycle_response_ms=self.cycle_response_ms[b].copy(),
+            queue_lengths=self.queue_lengths[b].copy(),
+            residence_ms=self.residence_ms[b].copy(),
+            utilisation=self.utilisation[b].copy(),
+            iterations=int(self.iterations[b]),
+            open_response_ms=dict(self.open_response_ms[b]),
+        )
+
+
+def _initial_queue_lengths(
+    D_all: np.ndarray, N: np.ndarray, active: np.ndarray
+) -> np.ndarray:
+    """Default iterate: spread each class's population over visited stations."""
+    visits = (D_all > 0).astype(float)
+    visit_counts = np.maximum(visits.sum(axis=2, keepdims=True), 1.0)
+    return np.where(active[:, :, None], N[:, :, None] / visit_counts * visits, 0.0)
+
+
+def solve_batch(
+    inp: MvaBatchInput,
+    *,
+    tol: float = 1e-10,
+    max_iterations: int = 100_000,
+    damping: float = 0.5,
+    initial_queue_lengths: np.ndarray | None = None,
+    iteration_hook: Callable[[int, float, int], None] | None = None,
+) -> MvaBatchSolution:
+    """Solve a whole sweep of closed multiclass networks in one fixed point.
+
+    This is the repository's only Bard–Schweitzer implementation: the
+    fixed point iterates per-class queue lengths ``Q: (B, C, K)`` with
+    ``damping`` (new = damping·update + (1−damping)·old) until every
+    point's largest queue-length change is below ``tol``.  Points
+    converge independently: once a point's residual drops under ``tol``
+    its iterate is **frozen** — never touched again — so a point's
+    trajectory (and its returned arrays, bit for bit) is identical to
+    solving it alone, while stragglers keep iterating.  When fewer than
+    half the points remain active the working set is compacted so late
+    stragglers don't pay for the whole batch.
+
+    ``initial_queue_lengths`` (``(B, C, K)``) warm-starts the iterate —
+    pass a neighbouring solved point's ``Q`` (rescaled to the new
+    populations) to collapse iteration counts on smooth sweeps.  Entries
+    for inactive classes are forced to zero.
+
+    ``iteration_hook(iteration, delta, n_active)`` — when given — is
+    called after every fixed-point step with the largest residual among
+    the points that were still active and the count of such points; the
+    layered solver uses it to stream sampled convergence-progress trace
+    events.  Leave it ``None`` on hot paths: the ``None`` check is the
+    only cost then.
+    """
+    check_positive(tol, "tol")
+    check_positive_int(max_iterations, "max_iterations")
+    require(0.0 < damping <= 1.0, "damping must be in (0, 1]")
+
+    B = inp.batch_size
+    C = len(inp.class_names)
+    K = len(inp.stations)
+    N = inp.populations  # (B, C)
+    Z = inp.think_times_ms  # (B, C)
+
+    servers = np.array([s.servers for s in inp.stations], dtype=float)  # (K,)
+    is_delay = np.array([s.kind is StationKind.DELAY for s in inp.stations])
+    waiting_only = np.array([s.waiting_only for s in inp.stations])
+    station_names = [s.name for s in inp.stations]
+
+    # Mixed-network reduction: open traffic permanently occupies rho_open of
+    # each queueing station, so closed customers effectively see slower
+    # servers (demand inflated by 1/(1-rho_open)).  Purely closed networks
+    # (the common case — the staged solver calls here once per ladder stage)
+    # skip the reduction entirely; the inflation would be exactly 1.0.
+    if inp.open_class_names:
+        rho_open = inp.open_utilisation_per_station()  # (B, K)
+        queue_saturated = (~is_delay)[None, :] & (rho_open >= 1.0)
+        if queue_saturated.any():
+            bad = sorted(
+                {station_names[k] for k in np.flatnonzero(queue_saturated.any(axis=0))}
+            )
+            points = [int(b) for b in np.flatnonzero(queue_saturated.any(axis=1))]
+            raise ValidationError(
+                f"open arrival load saturates station(s) {bad}: the mixed network "
+                f"is unstable (batch point(s) {points})"
+                if B > 1
+                else f"open arrival load saturates station(s) {bad}: the mixed "
+                "network is unstable"
+            )
+        inflation = np.where(is_delay[None, :], 1.0, 1.0 / (1.0 - rho_open))  # (B, K)
+        D = inp.demands * inflation[:, None, :]  # (B, C, K)
+        H = inp.hidden_demands * inflation[:, None, :]  # (B, C, K)
+        open_work = rho_open * servers  # (B, K): total open work per station
+    else:
+        rho_open = None
+        D = inp.demands
+        H = inp.hidden_demands
+        open_work = 0.0
+
+    def open_responses(q_closed_total: np.ndarray) -> list[dict]:
+        """Open-class response times per point, given closed queues (B, K)."""
+        per_point: list[dict] = [{} for _ in range(B)]
+        for o, name in enumerate(inp.open_class_names):
+            demand = inp.open_demands[:, o, :]  # (B, K)
+            r = np.where(
+                is_delay[None, :],
+                demand,
+                demand
+                * (1.0 + q_closed_total / servers)
+                / np.maximum(1.0 - rho_open, 1e-12),
+            )
+            totals = r.sum(axis=1)
+            for b in range(B):
+                per_point[b][name] = float(totals[b])
+        return per_point
+
+    active_classes = N > 0  # (B, C)
+    # Points with no active closed class (or no stations at all) are closed
+    # form: zero closed flows, open work only.  They never enter the loop.
+    trivial = (~active_classes.any(axis=1)) | (K == 0)  # (B,)
+
+    # Frozen (output) state, filled in as points converge.
+    Q_out = np.zeros((B, C, K))
+    X_out = np.zeros((B, C))
+    R_total_out = np.zeros((B, C))
+    R_vis_out = np.zeros((B, C, K))
+    iterations_out = np.zeros(B, dtype=int)
+
+    live = np.flatnonzero(~trivial)  # original indices of points still iterating
+    if live.size:
+        # Working copies restricted to the live points; compacted as points
+        # freeze.  All arithmetic below is elementwise or reduces over the
+        # class/station axes, so a point's values never depend on its batch
+        # neighbours — freezing and compaction are bit-exact.
+        n = N[live]
+        z = Z[live]
+        d = D[live]
+        h = H[live]
+        act = active_classes[live]
+        safe_n = np.where(act, n, 1.0)
+        if initial_queue_lengths is not None:
+            seed = np.asarray(initial_queue_lengths, dtype=float)
+            require(
+                seed.shape == (B, C, K),
+                f"initial_queue_lengths must be (B={B}, C={C}, K={K}), "
+                f"got {seed.shape}",
+            )
+            Q = np.where(act[:, :, None], np.maximum(seed[live], 0.0), 0.0)
+        else:
+            Q = _initial_queue_lengths(d + h, n, act)
+
+        delay_row = is_delay[None, None, :]
+        not_delay_row = (~is_delay)[None, :]
+        counted_off = np.where(waiting_only[None, None, :], d, 0.0)
+        # Hidden demand is rare (async calls / second phases): when a batch
+        # has none, skip its arrays entirely.  Bitwise safe — ``R_hid`` would
+        # be exactly zero and ``x + 0.0 == x`` for the non-negative residence
+        # values here.
+        has_hidden = bool(h.any())
+
+        errstate = np.errstate(divide="ignore", invalid="ignore")
+        errstate.__enter__()
+        try:
+            iterations = 0
+            for iterations in range(1, max_iterations + 1):
+                Q_total = Q.sum(axis=1)  # (b, K)
+                # Arrival theorem approximation: a class-c customer arriving
+                # sees the network without one of its own class (scaled by
+                # (Nc-1)/Nc).
+                A = Q_total[:, None, :] - Q / safe_n[:, :, None]
+                A = np.maximum(A, 0.0)
+
+                queue_factor = 1.0 + A / servers
+                R_vis = np.where(delay_row, d, d * queue_factor)
+
+                R_counted = R_vis - counted_off
+                R_counted_total = R_counted.sum(axis=2)  # (b, C)
+
+                X = np.where(act, n / (z + R_counted_total), 0.0)
+
+                if has_hidden:
+                    R_hid = np.where(delay_row, h, h * queue_factor)
+                    # A closed class's *visible* load is self-throttling, but
+                    # its hidden (asynchronous / second-phase) work is not: if
+                    # it alone exceeds a station's capacity there is no steady
+                    # state — fail loudly instead of diverging.
+                    hidden_util = (X[:, :, None] * h).sum(axis=1) / servers
+                    overloaded = not_delay_row & (hidden_util > 1.0 + 1e-9)
+                    if overloaded.any():
+                        bad = sorted(
+                            {
+                                station_names[k]
+                                for k in np.flatnonzero(overloaded.any(axis=0))
+                            }
+                        )
+                        raise ValidationError(
+                            f"asynchronous/second-phase load exceeds capacity "
+                            f"at station(s) {bad}: the model has no steady state"
+                        )
+                    Q_update = X[:, :, None] * (R_vis + R_hid)
+                else:
+                    Q_update = X[:, :, None] * R_vis
+                Q_new = damping * Q_update + (1.0 - damping) * Q
+                deltas = np.abs(Q_new - Q).max(axis=(1, 2))  # (b,)
+                Q = Q_new
+
+                frozen_now = deltas < tol  # (b,)
+                if iteration_hook is not None:
+                    iteration_hook(iterations, float(deltas.max()), int(live.size))
+                if frozen_now.any():
+                    done = live[frozen_now]
+                    Q_out[done] = Q[frozen_now]
+                    X_out[done] = X[frozen_now]
+                    R_total_out[done] = R_counted_total[frozen_now]
+                    R_vis_out[done] = R_vis[frozen_now]
+                    iterations_out[done] = iterations
+                    keep = ~frozen_now
+                    live = live[keep]
+                    if live.size == 0:
+                        break
+                    # Compact the working set: frozen points must leave it
+                    # (their iterates stop here — that is what makes a point's
+                    # trajectory bit-identical to a solo solve), and the
+                    # stragglers stop paying batch-width cost for them.
+                    n, z, d, h = n[keep], z[keep], d[keep], h[keep]
+                    act, safe_n, Q = act[keep], safe_n[keep], Q[keep]
+                    counted_off = counted_off[keep]
+            else:
+                raise ConvergenceError(
+                    "Bard-Schweitzer AMVA did not converge "
+                    f"({live.size} of {B} point(s) still above tol)",
+                    iterations=max_iterations,
+                    residual=float(deltas.max()),
+                )
+        finally:
+            errstate.__exit__(None, None, None)
+
+    # Utilisation from the *actual* work (un-inflated demands) plus the open
+    # classes' offered load.
+    closed_work = (X_out[:, :, None] * (inp.demands + inp.hidden_demands)).sum(axis=1)
+    total_work = closed_work + open_work
+    if K:
+        util = np.where(is_delay[None, :], total_work, total_work / servers)
+    else:
+        util = np.zeros((B, 0))
+
+    return MvaBatchSolution(
+        class_names=list(inp.class_names),
+        station_names=station_names,
+        throughput_per_ms=X_out,
+        cycle_response_ms=R_total_out,
+        queue_lengths=Q_out,
+        residence_ms=R_vis_out,
+        utilisation=util,
+        iterations=iterations_out,
+        open_response_ms=open_responses(Q_out.sum(axis=1)),
+    )
+
+
 def solve_bard_schweitzer(
     inp: MvaInput,
     *,
@@ -186,161 +639,33 @@ def solve_bard_schweitzer(
     damping: float = 0.5,
     iteration_hook: Callable[[int, float], None] | None = None,
 ) -> MvaSolution:
-    """Solve a closed multiclass network by Bard–Schweitzer AMVA.
+    """Solve one closed multiclass network by Bard–Schweitzer AMVA.
 
-    The fixed point iterates per-class queue lengths with ``damping`` (new =
-    damping·update + (1−damping)·old) until the largest queue-length change
-    is below ``tol``.
+    A batch of one: the input is stacked into a :class:`MvaBatchInput`
+    and handed to :func:`solve_batch`, whose per-point freezing makes
+    this bit-for-bit the dedicated single-network solver it replaced.
 
     ``iteration_hook(iteration, delta)`` — when given — is called after
     every fixed-point step with the queue-length residual; the layered
     solver uses it to stream convergence-progress trace events.  Leave it
     ``None`` on hot paths: the ``None`` check is the only cost then.
     """
-    check_positive(tol, "tol")
-    check_positive_int(max_iterations, "max_iterations")
-    require(0.0 < damping <= 1.0, "damping must be in (0, 1]")
+    hook: Callable[[int, float, int], None] | None = None
+    if iteration_hook is not None:
+        single_hook = iteration_hook
 
-    C = len(inp.class_names)
-    K = len(inp.stations)
-    N = np.asarray(inp.populations, dtype=float)  # (C,)
-    Z = np.asarray(inp.think_times_ms, dtype=float)  # (C,)
+        def hook(iteration: int, delta: float, _n_active: int) -> None:
+            """Adapt the batch hook signature to the single-point one."""
+            single_hook(iteration, delta)
 
-    servers = np.array([s.servers for s in inp.stations], dtype=float)  # (K,)
-    is_delay = np.array([s.kind is StationKind.DELAY for s in inp.stations])
-    waiting_only = np.array([s.waiting_only for s in inp.stations])
-
-    # Mixed-network reduction: open traffic permanently occupies rho_open of
-    # each queueing station, so closed customers effectively see slower
-    # servers (demand inflated by 1/(1-rho_open)).
-    rho_open = inp.open_utilisation_per_station()  # (K,)
-    queue_saturated = (~is_delay) & (rho_open >= 1.0)
-    if queue_saturated.any():
-        bad = [inp.stations[k].name for k in np.flatnonzero(queue_saturated)]
-        raise ValidationError(
-            f"open arrival load saturates station(s) {bad}: the mixed network "
-            "is unstable"
-        )
-    inflation = np.where(is_delay, 1.0, 1.0 / (1.0 - rho_open))
-    D = inp.demands * inflation[None, :]  # (C, K)
-    H = inp.hidden_demands * inflation[None, :]  # (C, K)
-    D_all = D + H
-
-    def open_metrics(q_closed_total: np.ndarray) -> tuple[dict, np.ndarray]:
-        """Open-class response times and their utilisation contribution."""
-        responses: dict = {}
-        for o, name in enumerate(inp.open_class_names):
-            demand = inp.open_demands[o]
-            r = np.where(
-                is_delay,
-                demand,
-                demand * (1.0 + q_closed_total / servers) / np.maximum(1.0 - rho_open, 1e-12),
-            )
-            responses[name] = float(r.sum())
-        return responses, rho_open * servers  # total open work per station
-
-    active = N > 0
-    n_active = active.sum()
-    if n_active == 0 or K == 0:
-        open_responses, open_work = open_metrics(np.zeros(K))
-        util = np.where(is_delay, open_work, open_work / servers) if K else np.zeros(K)
-        return MvaSolution(
-            class_names=list(inp.class_names),
-            station_names=[s.name for s in inp.stations],
-            throughput_per_ms=np.zeros(C),
-            cycle_response_ms=np.zeros(C),
-            queue_lengths=np.zeros((C, K)),
-            residence_ms=np.zeros((C, K)),
-            utilisation=util,
-            iterations=0,
-            open_response_ms=open_responses,
-        )
-
-    # Initial guess: spread each class's population evenly over the stations
-    # it actually visits.
-    visits = (D_all > 0).astype(float)
-    visit_counts = np.maximum(visits.sum(axis=1, keepdims=True), 1.0)
-    Q = np.where(active[:, None], N[:, None] / visit_counts * visits, 0.0)
-
-    safe_N = np.where(active, N, 1.0)
-
-    def residence(demand: np.ndarray, A: np.ndarray) -> np.ndarray:
-        """Full residence time per cycle for ``demand`` given arrival queue A."""
-        R = np.empty_like(demand)
-        # Delay stations: no queueing.
-        R[:, is_delay] = demand[:, is_delay]
-        q_mask = ~is_delay
-        m = servers[q_mask]
-        R[:, q_mask] = demand[:, q_mask] * (1.0 + A[:, q_mask] / m)
-        return R
-
-    X = np.zeros(C)
-    R_counted_total = np.zeros(C)
-    R_vis = np.zeros((C, K))
-    iterations = 0
-    for iterations in range(1, max_iterations + 1):
-        Q_total = Q.sum(axis=0)  # (K,)
-        # Arrival theorem approximation: a class-c customer arriving sees the
-        # network without one of its own class (scaled by (Nc-1)/Nc).
-        A = Q_total[None, :] - Q / safe_N[:, None]
-        A = np.maximum(A, 0.0)
-
-        R_vis = residence(D, A)
-        R_hid = residence(H, A)
-
-        R_counted = R_vis.copy()
-        R_counted[:, waiting_only] -= D[:, waiting_only]
-        R_counted_total = R_counted.sum(axis=1)
-
-        with np.errstate(divide="ignore", invalid="ignore"):
-            X = np.where(active, N / (Z + R_counted_total), 0.0)
-
-        # A closed class's *visible* load is self-throttling, but its hidden
-        # (asynchronous / second-phase) work is not: if it alone exceeds a
-        # station's capacity there is no steady state — fail loudly instead
-        # of diverging.
-        hidden_util = (X[:, None] * H).sum(axis=0) / servers
-        overloaded = (~is_delay) & (hidden_util > 1.0 + 1e-9)
-        if overloaded.any():
-            bad = [inp.stations[k].name for k in np.flatnonzero(overloaded)]
-            raise ValidationError(
-                f"asynchronous/second-phase load exceeds capacity at station(s) "
-                f"{bad}: the model has no steady state"
-            )
-
-        Q_update = X[:, None] * (R_vis + R_hid)
-        Q_new = damping * Q_update + (1.0 - damping) * Q
-        delta = float(np.max(np.abs(Q_new - Q))) if Q.size else 0.0
-        Q = Q_new
-        if iteration_hook is not None:
-            iteration_hook(iterations, delta)
-        if delta < tol:
-            break
-    else:  # pragma: no cover - defensive
-        raise ConvergenceError(
-            "Bard-Schweitzer AMVA did not converge",
-            iterations=max_iterations,
-            residual=float(delta),
-        )
-
-    # Utilisation from the *actual* work (un-inflated demands) plus the open
-    # classes' offered load.
-    closed_work = (X[:, None] * (inp.demands + inp.hidden_demands)).sum(axis=0)
-    open_responses, open_work = open_metrics(Q.sum(axis=0))
-    total_work = closed_work + open_work
-    util = np.where(is_delay, total_work, total_work / servers)
-
-    return MvaSolution(
-        class_names=list(inp.class_names),
-        station_names=[s.name for s in inp.stations],
-        throughput_per_ms=X,
-        cycle_response_ms=R_counted_total,
-        queue_lengths=Q,
-        residence_ms=R_vis,
-        utilisation=util,
-        iterations=iterations,
-        open_response_ms=open_responses,
+    batch = solve_batch(
+        MvaBatchInput.from_points([inp]),
+        tol=tol,
+        max_iterations=max_iterations,
+        damping=damping,
+        iteration_hook=hook,
     )
+    return batch.solution(0)
 
 
 @dataclass

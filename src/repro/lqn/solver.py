@@ -37,25 +37,36 @@ import numpy as np
 
 from repro.faults.injector import INJECTOR
 from repro.lqn.model import CallKind, LqnModel, Scheduling, Task
-from repro.lqn.mva import MvaInput, Station, StationKind
+from repro.lqn.mva import MvaBatchInput, MvaInput, Station, StationKind, solve_batch
 from repro.lqn.results import LqnSolution
 from repro.trace import TRACER
 from repro.util.clock import SYSTEM_CLOCK, Clock
 from repro.util.errors import ConvergenceError, ModelError
 from repro.util.validation import check_positive, check_positive_int
 
-__all__ = ["SolverOptions", "LqnSolver", "MVA_ITERATION_SAMPLE"]
+__all__ = ["SolverOptions", "LqnSolver", "MVA_ITERATION_SAMPLE", "WARM_START_STRIDE"]
 
 #: Every k-th MVA fixed-point iteration gets an instant event when tracing.
 MVA_ITERATION_SAMPLE = 25
 
+#: Warm-started sweeps solve every ``stride``-th point cold (in locality
+#: order), then seed the points in between from their nearest solved
+#: neighbour's queue lengths.
+WARM_START_STRIDE = 4
+
 
 def _mva_iteration_hook():
-    """A sampled per-iteration callback carrying the convergence delta."""
+    """A sampled per-iteration callback carrying the convergence delta.
 
-    def hook(iteration: int, delta: float) -> None:
+    ``delta`` is the largest queue-length residual among the batch points
+    still iterating; ``active`` counts them (1 for a single-point solve).
+    """
+
+    def hook(iteration: int, delta: float, n_active: int) -> None:
         if iteration == 1 or iteration % MVA_ITERATION_SAMPLE == 0:
-            TRACER.instant("lqn.mva.iteration", iteration=iteration, delta=delta)
+            TRACER.instant(
+                "lqn.mva.iteration", iteration=iteration, delta=delta, active=n_active
+            )
 
     return hook
 
@@ -102,30 +113,16 @@ class LqnSolver:
     # -- public API -----------------------------------------------------------
 
     def solve(self, model: LqnModel) -> LqnSolution:
-        """Solve ``model`` and return steady-state predictions."""
+        """Solve ``model`` and return steady-state predictions.
+
+        A batch of one: the model goes through exactly the same prepare →
+        batched-fixed-point → package pipeline as :meth:`solve_sweep`.
+        """
         if INJECTOR.armed:
             INJECTOR.fire("lqn.solve")
         start = self._clock.perf_s()
         with TRACER.span("lqn.solve") as span:
-            if self.options.lint_models:
-                # Lazy import: repro.analysis imports this module's
-                # SolverOptions consumers; importing at module scope would
-                # cycle.
-                from repro.analysis.model_lint import check_model
-
-                with TRACER.span("lqn.lint"):
-                    check_model(model)
-            model.validate()
-            classes = model.reference_tasks()
-            if not classes:
-                raise ModelError("model has no reference tasks")
-
-            with TRACER.span("lqn.flatten"):
-                vis, hid = self._flatten(model, classes)
-            with TRACER.span("lqn.build_network"):
-                inp, station_names, task_station_index = self._build_network(
-                    model, classes, vis, hid
-                )
+            classes, vis, hid, inp, station_names, task_station_index = self._prepare(model)
             with TRACER.span("lqn.iterate"):
                 solution = self._iterate(inp)
 
@@ -138,6 +135,75 @@ class LqnSolver:
             return self._package(
                 model, classes, vis, hid, inp, solution, station_names, task_station_index, elapsed
             )
+
+    def solve_sweep(
+        self, models: list[LqnModel], *, warm_start: bool = True
+    ) -> list[LqnSolution]:
+        """Solve a whole sweep of models as (a few) NumPy batches.
+
+        Models sharing a network *structure* (same stations and class
+        names — e.g. one architecture swept over populations and request
+        mixes) are stacked into one :class:`MvaBatchInput` and iterated
+        together by :func:`repro.lqn.mva.solve_batch`; converged points
+        freeze while stragglers keep iterating.  Results come back in
+        input order, each bit-identical (``warm_start=False``) or
+        tolerance-equal (``warm_start=True``) to ``solve`` on that model.
+
+        With ``warm_start`` (the default), each structure group is first
+        ordered for locality (by population, then think times/demands) and
+        every :data:`WARM_START_STRIDE`-th point is solved cold; the points
+        in between start from their nearest solved neighbour's queue
+        lengths, rescaled to their own populations, and later ladder stages
+        reuse the previous stage's iterate instead of restarting — both
+        collapse iteration counts on smooth sweeps.
+
+        Faults and accounting match the serial path: one
+        ``lqn.solve`` fault-injection firing and one ``solve_count``
+        increment per model.  ``solve_time_s`` on each returned solution is
+        the sweep's wall time divided evenly across its points.
+        """
+        models = list(models)
+        if not models:
+            return []
+        if INJECTOR.armed:
+            for _ in models:
+                INJECTOR.fire("lqn.solve")
+        start = self._clock.perf_s()
+        with TRACER.span("lqn.sweep") as span:
+            prepared = [self._prepare(model) for model in models]
+            groups: dict[tuple, list[int]] = {}
+            for i, (_, _, _, inp, _, _) in enumerate(prepared):
+                groups.setdefault(inp.structure_signature(), []).append(i)
+
+            results: list[tuple | None] = [None] * len(models)
+            for indices in groups.values():
+                ordered = sorted(indices, key=lambda i: self._locality_key(prepared[i][3]))
+                inputs = [prepared[i][3] for i in ordered]
+                with TRACER.span("lqn.iterate") as group_span:
+                    group_span.set_attribute("points", len(ordered))
+                    if warm_start and len(inputs) > WARM_START_STRIDE:
+                        solved = self._solve_group_warm(inputs)
+                    else:
+                        solved = self._iterate_batch(
+                            MvaBatchInput.from_points(inputs), warm_start=warm_start
+                        )
+                for i, result in zip(ordered, solved):
+                    results[i] = result
+
+            elapsed = self._clock.perf_s() - start
+            with self._lock:
+                self.solve_count += len(models)
+            span.set_attribute("models", len(models))
+            span.set_attribute("groups", len(groups))
+            per_point_s = elapsed / len(models)
+            return [
+                self._package(
+                    models[i], classes, vis, hid, inp, results[i],
+                    station_names, task_station_index, per_point_s,
+                )
+                for i, (classes, vis, hid, inp, station_names, task_station_index)
+                in enumerate(prepared)
+            ]
 
     def max_clients_for_goal(
         self,
@@ -181,6 +247,46 @@ class LqnSolver:
             else:
                 hi = mid
         return lo, evaluations
+
+    # -- preparation ----------------------------------------------------------
+
+    def _prepare(self, model: LqnModel):
+        """Lint/validate ``model`` and build its MVA network."""
+        if self.options.lint_models:
+            # Lazy import: repro.analysis imports this module's
+            # SolverOptions consumers; importing at module scope would
+            # cycle.
+            from repro.analysis.model_lint import check_model
+
+            with TRACER.span("lqn.lint"):
+                check_model(model)
+        model.validate()
+        classes = model.reference_tasks()
+        if not classes:
+            raise ModelError("model has no reference tasks")
+
+        with TRACER.span("lqn.flatten"):
+            vis, hid = self._flatten(model, classes)
+        with TRACER.span("lqn.build_network"):
+            inp, station_names, task_station_index = self._build_network(
+                model, classes, vis, hid
+            )
+        return classes, vis, hid, inp, station_names, task_station_index
+
+    @staticmethod
+    def _locality_key(inp: MvaInput) -> tuple:
+        """Sort key placing neighbouring sweep points next to each other.
+
+        Population dominates (fig2/fig6-style client sweeps), then think
+        times and total demand (mix sweeps at fixed population).
+        """
+        return (
+            float(sum(inp.populations)),
+            tuple(inp.populations),
+            tuple(inp.think_times_ms),
+            float(inp.demands.sum()),
+            float(inp.hidden_demands.sum()),
+        )
 
     # -- flattening -----------------------------------------------------------
 
@@ -331,16 +437,47 @@ class LqnSolver:
 
     def _iterate(self, inp: MvaInput):
         """Bard–Schweitzer fixed point with the response-time stopping rule."""
-        from repro.lqn.mva import solve_bard_schweitzer
+        return self._iterate_batch(MvaBatchInput.from_points([inp]))[0]
 
-        # Run the AMVA fixed point in stages, checking the response-time
-        # criterion between stages; this reproduces LQNS's "iterate until
-        # response times move < criterion" behaviour while the queue-length
-        # tolerance guards the fine-grained fixed point.
+    def _iterate_batch(
+        self,
+        batch: MvaBatchInput,
+        *,
+        warm_start: bool = False,
+        initial_queue_lengths: np.ndarray | None = None,
+        start_stage: int = 1,
+    ) -> list[tuple]:
+        """Run the staged tolerance ladder over a whole batch at once.
+
+        The AMVA fixed point runs in stages of loosening-to-tightening
+        tolerance (``10^-stage`` down to ``queue_tol``), checking the
+        response-time criterion between stages; this reproduces LQNS's
+        "iterate until response times move < criterion" behaviour while
+        the queue-length tolerance guards the fine-grained fixed point.
+        Each point climbs the ladder independently: a point whose
+        response residual drops below ``convergence_criterion_ms`` leaves
+        the batch, and later stages solve only the survivors.
+
+        ``warm_start=False`` (the default, used by :meth:`solve`) restarts
+        every stage from the default iterate, which makes each point's
+        result bit-identical to the historical serial ladder.  With
+        ``warm_start=True`` each stage continues from the previous stage's
+        queue lengths, and ``initial_queue_lengths`` (``(B, C, K)``) seeds
+        the first stage — e.g. from a neighbouring, already-solved sweep
+        point.  ``start_stage`` skips the coarsest ladder rungs, which a
+        well-seeded iterate has already passed.
+
+        Returns one ``(MvaSolution, residual_ms)`` tuple per point, in
+        batch order.
+        """
         options = self.options
-        prev_response: np.ndarray | None = None
-        stage_iterations = 0
-        solution = None
+        B = batch.batch_size
+        results: list[tuple | None] = [None] * B
+        live = np.arange(B)
+        prev_response: np.ndarray | None = None  # (b, C) for live points
+        stage_iterations = np.zeros(B, dtype=int)
+        current = batch
+        seed = initial_queue_lengths
         # Tracing: per-stage instants always (cheap), per-MVA-iteration
         # instants through a sampled hook so tight fixed points (tens of
         # thousands of iterations) don't flood the event log.
@@ -348,41 +485,117 @@ class LqnSolver:
         hook = _mva_iteration_hook() if trace_on else None
         # A loose criterion stops early (coarse, fast); a tight criterion
         # runs the fixed point to queue_tol (accurate, slower).
-        for stage in range(1, 64):
+        for stage in range(start_stage, 64):
             stage_tol = max(options.queue_tol, 10.0 ** (-stage))
-            solution = solve_bard_schweitzer(
-                inp,
+            solution = solve_batch(
+                current,
                 tol=stage_tol,
                 max_iterations=options.max_iterations,
                 damping=options.damping,
+                initial_queue_lengths=seed,
                 iteration_hook=hook,
             )
-            stage_iterations += solution.iterations
-            response = solution.cycle_response_ms
-            if response.size == 0:
-                # Pure-open model: the mixed-network reduction is closed form.
-                return solution, 0.0
-            residual = None
+            stage_iterations[live] += solution.iterations
+            response = solution.cycle_response_ms  # (b, C)
+            if response.shape[1] == 0:
+                # Pure-open models: the mixed-network reduction is closed form.
+                for j, i in enumerate(live):
+                    results[i] = (solution.solution(j), 0.0)
+                break
+            residuals = None
             if prev_response is not None:
-                residual = float(np.max(np.abs(response - prev_response)))
+                residuals = np.max(np.abs(response - prev_response), axis=1)  # (b,)
             if trace_on:
                 TRACER.instant(
                     "lqn.solve.stage",
                     stage=stage,
                     stage_tol=stage_tol,
-                    iterations=solution.iterations,
-                    residual_ms=residual,
+                    iterations=int(solution.iterations.max()),
+                    residual_ms=None if residuals is None else float(residuals.max()),
+                    active=int(live.size),
                 )
-            if residual is not None and residual < options.convergence_criterion_ms:
-                solution.iterations = stage_iterations
-                return solution, residual
-            prev_response = response.copy()
+            if residuals is not None:
+                done = residuals < options.convergence_criterion_ms
+            else:
+                done = np.zeros(live.size, dtype=bool)
+            final_residuals = np.where(done, residuals if residuals is not None else 0.0, 0.0)
             if stage_tol <= options.queue_tol:
-                solution.iterations = stage_iterations
-                return solution, 0.0
-        raise ConvergenceError(
-            "layered solver failed to converge", iterations=stage_iterations
-        )  # pragma: no cover - defensive
+                # Ladder floor: whoever is left stops here, reporting a zero
+                # residual exactly as the historical serial ladder did.
+                done = np.ones(live.size, dtype=bool)
+            if done.any():
+                for j in np.flatnonzero(done):
+                    point = solution.solution(j)
+                    point.iterations = int(stage_iterations[live[j]])
+                    results[live[j]] = (point, float(final_residuals[j]))
+                keep = ~done
+                live = live[keep]
+                if live.size == 0:
+                    break
+                current = current.subset(np.flatnonzero(keep))
+                prev_response = response[keep].copy()
+                seed = solution.queue_lengths[keep] if warm_start else None
+            else:
+                prev_response = response.copy()
+                seed = solution.queue_lengths if warm_start else None
+        else:  # pragma: no cover - defensive
+            raise ConvergenceError(
+                "layered solver failed to converge",
+                iterations=int(stage_iterations.max()),
+            )
+        return results
+
+    def _solve_group_warm(self, inputs: list[MvaInput]) -> list[tuple]:
+        """Warm-started wave solve of one locality-ordered structure group.
+
+        Every :data:`WARM_START_STRIDE`-th point solves cold (one batch);
+        the points in between seed their iterate from the nearest cold
+        point's queue lengths, rescaled per class to their own population
+        (classes active in the warm point but absent from its seed keep the
+        default spread initialisation).  Returns results in ``inputs``
+        order.
+        """
+        n = len(inputs)
+        cold_positions = list(range(0, n, WARM_START_STRIDE))
+        warm_positions = [p for p in range(n) if p % WARM_START_STRIDE != 0]
+        cold_results = self._iterate_batch(
+            MvaBatchInput.from_points([inputs[p] for p in cold_positions]),
+            warm_start=True,
+        )
+        results: list[tuple | None] = [None] * n
+        for p, result in zip(cold_positions, cold_results):
+            results[p] = result
+        if warm_positions:
+            seeds = np.zeros(
+                (len(warm_positions), len(inputs[0].class_names), len(inputs[0].stations))
+            )
+            for w, p in enumerate(warm_positions):
+                nearest = min(cold_positions, key=lambda c: abs(c - p))
+                neighbour, _ = results[nearest]
+                n_new = np.asarray(inputs[p].populations, dtype=float)
+                n_old = np.asarray(inputs[nearest].populations, dtype=float)
+                scale = np.where(n_old > 0, n_new / np.where(n_old > 0, n_old, 1.0), 0.0)
+                seeded = neighbour.queue_lengths * scale[:, None]
+                newly_active = (n_new > 0) & (n_old == 0)
+                if newly_active.any():
+                    # No neighbour information for these classes: fall back to
+                    # the solver's default spread-over-visited-stations seed.
+                    inp = inputs[p]
+                    visits = ((inp.demands + inp.hidden_demands) > 0).astype(float)
+                    counts = np.maximum(visits.sum(axis=1, keepdims=True), 1.0)
+                    default = n_new[:, None] / counts * visits
+                    seeded = np.where(newly_active[:, None], default, seeded)
+                seeds[w] = seeded
+            warm_results = self._iterate_batch(
+                MvaBatchInput.from_points([inputs[p] for p in warm_positions]),
+                warm_start=True,
+                initial_queue_lengths=seeds,
+                # A neighbour-seeded iterate is already past the coarse rungs.
+                start_stage=3,
+            )
+            for p, result in zip(warm_positions, warm_results):
+                results[p] = result
+        return results
 
     # -- packaging ----------------------------------------------------------------
 

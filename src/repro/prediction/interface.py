@@ -61,6 +61,16 @@ class PredictionTimer:
             self.evaluations += 1
             self.total_time_s += elapsed_s
 
+    def record_batch(self, n_evaluations: int, elapsed_s: float) -> None:
+        """Add one *batch* of evaluations answered in ``elapsed_s`` total.
+
+        Keeps ``mean_delay_s`` meaningful for sweep-solved predictions: the
+        batch's wall time is spread across its points.
+        """
+        with self._lock:
+            self.evaluations += n_evaluations
+            self.total_time_s += elapsed_s
+
     @property
     def mean_delay_s(self) -> float:
         """Mean per-prediction delay (s)."""
@@ -187,6 +197,36 @@ class LqnPredictor:
             self.parameters,
         )
         return self.solver.solve(model)
+
+    def solve_points(
+        self,
+        points: list[tuple[str, float, float]],
+        *,
+        warm_start: bool = True,
+    ):
+        """Solve a sweep of ``(server, n_clients, buy_fraction)`` points.
+
+        One batched :meth:`LqnSolver.solve_sweep` call replaces a loop of
+        per-point solves; the returned :class:`~repro.lqn.results.LqnSolution`
+        list (input order) answers *both* response-time and throughput
+        queries for every point, so sweep-shaped callers solve each model
+        once instead of once per metric.  ``warm_start=False`` makes every
+        point bit-identical to :meth:`predict_mrt_ms`'s solve; the default
+        trades that for speed within the solver's convergence criterion.
+        """
+        start = time.perf_counter()
+        try:
+            models = [
+                build_trade_model(
+                    self._arch(server),
+                    mixed_workload(max(1, int(round(n_clients))), buy_fraction),
+                    self.parameters,
+                )
+                for server, n_clients, buy_fraction in points
+            ]
+            return self.solver.solve_sweep(models, warm_start=warm_start)
+        finally:
+            self.timer.record_batch(len(points), time.perf_counter() - start)
 
     def predict_mrt_ms(self, server: str, n_clients: float, *, buy_fraction: float = 0.0) -> float:
         """Predicted mean response time (ms); builds and solves a model."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["DEFAULT_ABS_TOL", "floats_equal", "is_negligible"]
+__all__ = ["DEFAULT_ABS_TOL", "floats_equal", "is_negligible", "quantize_to_tick"]
 
 # Far below any physically meaningful demand, rate or residual in the
 # models (which live around 1e-3 .. 1e3), far above float64 rounding
@@ -29,6 +29,24 @@ def is_negligible(x: float, *, tol: float = DEFAULT_ABS_TOL) -> bool:
     codebase makes on it.
     """
     return abs(x) <= tol
+
+
+def quantize_to_tick(value: float, tick_s: float) -> float:
+    """Snap a virtual-time instant back onto its clock's tick grid.
+
+    A fake clock advanced tick by tick accumulates binary rounding noise
+    (``504 * 0.05`` ticks land on ``25.200000000000223``), and reports
+    serialised from those instants carry the noise into published
+    artifacts, where it churns diffs and defeats byte-identity checks.
+    Every instant such a clock can produce is *by construction* a whole
+    number of ticks, so rounding to the nearest tick — then discarding
+    the sub-nanosecond representation tail — recovers the exact value
+    the clock meant.  Use at the serialisation boundary only; internal
+    arithmetic should keep the raw floats.
+    """
+    if tick_s <= 0:
+        raise ValueError(f"tick_s must be positive, got {tick_s}")
+    return round(round(value / tick_s) * tick_s, 9)
 
 
 def floats_equal(a: float, b: float, *, rel_tol: float = 1e-9, abs_tol: float = DEFAULT_ABS_TOL) -> bool:

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import json
 
-from repro.experiments.sharded_serving import run_chaos, run_sweep
+from repro.experiments.sharded_serving import TICK_S, run_chaos, run_sweep
 from repro.service.shard.testing import DeterministicStubPredictor
+from repro.util.floats import quantize_to_tick
 
 
 def _chaos_report() -> dict:
@@ -48,6 +49,35 @@ def test_chaos_report_is_byte_identical_across_runs() -> None:
     first = json.dumps(_chaos_report(), sort_keys=True)
     second = json.dumps(_chaos_report(), sort_keys=True)
     assert first == second
+
+
+def test_chaos_report_timestamps_sit_on_the_tick_grid() -> None:
+    """Serialized virtual-time instants carry no float-noise tails.
+
+    Regression: breaker timestamps used to serialize as the fake
+    clock's raw tick sums (``25.200000000000223``), churning every
+    regeneration of the published ``BENCH_serving.json``.
+    """
+    report = _chaos_report()
+    breaker = report["breaker"]
+    stamps = [at_s for at_s, _old, _new in breaker["transitions"]]
+    stamps += [breaker["first_opened_at_s"], breaker["reclosed_at_s"]]
+    stamps += [breaker["time_to_recover_s"], *report["fault_window_s"]]
+    for stamp in stamps:
+        assert stamp == quantize_to_tick(stamp, TICK_S)
+        # The JSON representation is the short decimal, not a noisy tail.
+        assert len(json.dumps(stamp)) <= len(f"{stamp:.2f}")
+
+
+def test_quantize_to_tick_recovers_exact_tick_multiples() -> None:
+    """Accumulated tick sums snap back to the value the clock meant."""
+    total = 0.0
+    for _ in range(504):
+        total += 0.05
+    assert total != 25.2  # the raw sum carries noise
+    assert quantize_to_tick(total, 0.05) == 25.2
+    assert quantize_to_tick(75.09999999999788 - 25.200000000000223, 0.05) == 49.9
+    assert quantize_to_tick(25.2, 0.05) == 25.2  # idempotent on clean values
 
 
 def test_sweep_is_deterministic_and_scales_warm_throughput() -> None:

@@ -77,6 +77,33 @@ class TestSolverInstrumentation:
         assert any(e.attributes["iteration"] == 1 for e in iterations)
         assert all("delta" in e.attributes for e in iterations)
 
+    def test_sweep_emits_batch_span_tree_and_convergence_instants(self, sink):
+        models = [
+            build_trade_model(APP_SERV_S, typical_workload(n), PARAMS)
+            for n in (100, 200, 300, 400, 500, 600)
+        ]
+        solver = LqnSolver(SolverOptions(convergence_criterion_ms=0.5))
+        solver.solve_sweep(models)
+        events = sink.events()
+
+        (sweep,) = spans_named(events, "lqn.sweep")
+        assert sweep.attributes["models"] == len(models)
+        assert sweep.attributes["groups"] == 1  # one shared structure
+        (iterate,) = spans_named(events, "lqn.iterate")
+        assert iterate.parent_id == sweep.span_id
+        assert iterate.attributes["points"] == len(models)
+
+        stages = [e for e in events if e.name == "lqn.solve.stage"]
+        assert stages and all(e.kind == INSTANT for e in stages)
+        assert all(e.attributes["active"] >= 1 for e in stages)
+
+        iterations = [e for e in events if e.name == "lqn.mva.iteration"]
+        assert iterations, "expected sampled batch-convergence instants"
+        assert any(e.attributes["iteration"] == 1 for e in iterations)
+        # Each instant reports the batch residual and the straggler count.
+        assert all("delta" in e.attributes for e in iterations)
+        assert all(1 <= e.attributes["active"] <= len(models) for e in iterations)
+
     def test_untraced_solve_emits_nothing(self):
         assert not TRACER.enabled
         model = build_trade_model(APP_SERV_S, typical_workload(200), PARAMS)
