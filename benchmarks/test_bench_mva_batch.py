@@ -37,6 +37,7 @@ import json
 import pathlib
 import time
 
+import numpy as np
 import pytest
 
 from repro.experiments.scenario import (
@@ -220,6 +221,63 @@ def test_bench_mva_batch_warm_sweep_within_criterion(shapes):
         assert b.mean_response_ms() == pytest.approx(
             a.mean_response_ms(), abs=SOLVER_OPTIONS.convergence_criterion_ms
         )
+
+
+#: The finite-capacity solve path's allowed tax on capacity-free sweeps:
+#: solve_batch_with_loss on an unbounded input must stay within 5% of the
+#: raw core (it detects "no capacity stations", calls the core once, and
+#: attaches zero loss arrays — nothing else).
+LOSS_OVERHEAD_GATE = 1.05
+LOSS_REPS = 9
+
+
+def _unbounded_mixed_batch():
+    """A capacity-free sweep shaped like the overload experiment's grid."""
+    from repro.lqn.loss import solve_batch_with_loss  # noqa: F401 (import check)
+    from repro.lqn.mva import MvaBatchInput, MvaInput, Station
+
+    points = []
+    for index in range(64):
+        points.append(
+            MvaInput(
+                stations=[Station("app", servers=2), Station("db"), Station("disk")],
+                class_names=["browse", "buy"],
+                populations=[10 + index, 5 + index // 2],
+                think_times_ms=[7000.0, 7000.0],
+                demands=np.array([[5.4, 1.9, 1.4], [10.5, 3.2, 3.0]]),
+                open_class_names=["open_browse"],
+                open_rates_per_ms=[0.02 + 0.0005 * index],
+                open_demands=np.array([[5.4, 1.9, 1.4]]),
+            )
+        )
+    return MvaBatchInput.from_points(points)
+
+
+def test_bench_loss_path_overhead_on_unbounded_sweeps():
+    """Finite-capacity wrapper: < 5% overhead and bitwise-equal results
+    when no station carries a capacity bound (min-of-REPS, interleaved)."""
+    from repro.lqn.loss import solve_batch_with_loss
+    from repro.lqn.mva import solve_batch
+
+    batch = _unbounded_mixed_batch()
+    plain_s = wrapped_s = float("inf")
+    for _ in range(LOSS_REPS):
+        start = time.perf_counter()
+        plain = solve_batch(batch)
+        plain_s = min(plain_s, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        wrapped = solve_batch_with_loss(batch)
+        wrapped_s = min(wrapped_s, time.perf_counter() - start)
+
+    assert (wrapped.throughput_per_ms == plain.throughput_per_ms).all()
+    assert (wrapped.queue_lengths == plain.queue_lengths).all()
+    assert wrapped.open_response_ms == plain.open_response_ms
+    assert not wrapped.loss_probability.any()
+    assert wrapped_s <= plain_s * LOSS_OVERHEAD_GATE, (
+        f"loss path adds {(wrapped_s / plain_s - 1) * 100:.2f}% "
+        f"(> {(LOSS_OVERHEAD_GATE - 1) * 100:.0f}% gate) on unbounded sweeps"
+    )
 
 
 def test_bench_mva_batch_sweep_wall_cost(benchmark, shapes):

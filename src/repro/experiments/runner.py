@@ -42,6 +42,7 @@ EXPERIMENTS: dict[str, str] = {
     "chaos": "repro.experiments.chaos",
     "workloads": "repro.experiments.workloads",
     "sharded_serving": "repro.experiments.sharded_serving",
+    "overload": "repro.experiments.overload",
 }
 
 

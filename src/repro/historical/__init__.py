@@ -17,7 +17,10 @@ relationships:
   *new* architectures from a single benchmarked number;
 * **relationship 3** (:mod:`repro.historical.mix`): percentage of buy
   requests → max throughput (linear), extrapolated to new servers by a
-  throughput ratio (equation 5).
+  throughput ratio (equation 5);
+* **loss relationship** (:mod:`repro.historical.loss`): offered rate →
+  loss fraction for finite-capacity servers, fitted from drop-bearing
+  measurements (the carried-capacity flow balance ``loss = 1 - C/x``).
 
 :class:`repro.historical.model.HistoricalModel` composes these into the full
 method; :mod:`repro.historical.datastore` manages the historical data points
@@ -39,6 +42,7 @@ from repro.historical.relationships import (
     TransitionRelationship,
     UpperEquation,
 )
+from repro.historical.loss import LossRateModel, observations_from_record_sets
 from repro.historical.scaling import MaxThroughputScaling, ServerCalibration
 from repro.historical.mix import BuyMixModel
 from repro.historical.throughput import ThroughputModel
@@ -60,6 +64,8 @@ __all__ = [
     "UpperEquation",
     "TransitionRelationship",
     "PiecewiseResponseModel",
+    "LossRateModel",
+    "observations_from_record_sets",
     "MaxThroughputScaling",
     "ServerCalibration",
     "BuyMixModel",

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.faults.injector import INJECTOR
 from repro.historical.datastore import HistoricalDataPoint, HistoricalDataStore
+from repro.historical.loss import LossRateModel
 from repro.historical.mix import BuyMixModel
 from repro.historical.relationships import (
     LowerEquation,
@@ -88,6 +89,9 @@ class HistoricalModel:
     server_calibrations: dict[str, ServerCalibration] = field(default_factory=dict)
     scaling: MaxThroughputScaling | None = None
     mix_model: BuyMixModel | None = None
+    # Per-server loss relationships fitted from drop-bearing measurements
+    # (finite accept queues shed overload; see repro.historical.loss).
+    loss_models: dict[str, LossRateModel] = field(default_factory=dict)
     predictions_made: int = 0
     # Mix-adjusted piecewise models are pure functions of (server, rounded
     # buy fraction); the resource manager probes them thousands of times.
@@ -293,6 +297,51 @@ class HistoricalModel:
                 return self._model_for(server).max_clients(mrt_goal_ms)
             return self._mix_adjusted_model(server, buy_fraction).max_clients(mrt_goal_ms)
 
+    # -- loss (finite-capacity servers) --------------------------------------------
+
+    def calibrate_loss(
+        self, server: str, observations: list[tuple[float, float]]
+    ) -> LossRateModel:
+        """Fit (or refit) the server's loss relationship from measurements.
+
+        ``observations`` are ``(offered req/s, loss fraction)`` pairs from
+        runs against a finite accept queue — simulated overload points or
+        recorded traces with a ``dropped`` column (see
+        :func:`repro.historical.loss.observations_from_record_sets`).
+        Calling again pools the new observations with the stored ones, the
+        same refit-with-more-data workflow as the response relationships.
+        """
+        with self._lock:
+            existing = self.loss_models.get(server)
+            if existing is None:
+                model = LossRateModel.calibrate(server, observations)
+            else:
+                model = existing.refit(observations)
+            self.loss_models[server] = model
+        return model
+
+    def predict_loss_rate(self, server: str, offered_req_per_s: float) -> float:
+        """Predicted loss fraction at the given offered rate (req/s)."""
+        if INJECTOR.armed:
+            INJECTOR.fire("historical.predict")
+        with self._lock:
+            self.predictions_made += 1
+        with TRACER.span("historical.predict", op="loss", server=server):
+            return self._loss_model_for(server).predict_loss_rate(offered_req_per_s)
+
+    def predict_carried_throughput(
+        self, server: str, offered_req_per_s: float
+    ) -> float:
+        """Predicted carried (accepted) throughput at the given offered rate."""
+        if INJECTOR.armed:
+            INJECTOR.fire("historical.predict")
+        with self._lock:
+            self.predictions_made += 1
+        with TRACER.span("historical.predict", op="carried", server=server):
+            return self._loss_model_for(server).predict_carried_req_per_s(
+                offered_req_per_s
+            )
+
     def parameter_table(self) -> list[tuple[str, float, float]]:
         """Rows of (server, c_L, λ_L) — the layout of the paper's table 1."""
         rows = []
@@ -311,6 +360,16 @@ class HistoricalModel:
                 f"no model for server {server!r}; calibrate it or add it as a "
                 "new server with add_new_server()"
             ) from None
+
+    def _loss_model_for(self, server: str) -> LossRateModel:
+        with self._lock:
+            try:
+                return self.loss_models[server]
+            except KeyError:
+                raise CalibrationError(
+                    f"no loss model for server {server!r}; calibrate one from "
+                    "drop-bearing measurements with calibrate_loss()"
+                ) from None
 
     def _mix_max_throughput(self, server: str, buy_fraction: float) -> float:
         if self.mix_model is None:

@@ -8,6 +8,9 @@ rendezvous networks):
   asynchronous calls, with structural validation;
 * :mod:`repro.lqn.mva` — exact and Bard–Schweitzer approximate Mean Value
   Analysis cores for closed multiclass queueing networks;
+* :mod:`repro.lqn.loss` — finite-capacity (M/M/1/K, M/M/c/K) closed forms
+  and the effective-arrival-rate fixed point composing them with the
+  batched MVA core, giving loss probability as a first-class output;
 * :mod:`repro.lqn.solver` — the layered fixed-point solver: hardware
   contention is solved by approximate MVA while software (task-concurrency)
   contention is folded in through surrogate stations, iterating until
@@ -28,6 +31,16 @@ from repro.lqn.model import (
     Processor,
     Scheduling,
     Task,
+)
+from repro.lqn.loss import (
+    LossQuantities,
+    effective_throughput,
+    mm1k_loss_probability,
+    mmck_loss_probability,
+    mmck_loss_quantities,
+    mmck_mean_in_system,
+    mmck_state_probabilities,
+    solve_batch_with_loss,
 )
 from repro.lqn.mva import (
     MvaBatchInput,
@@ -72,6 +85,14 @@ __all__ = [
     "solve_batch",
     "solve_bard_schweitzer",
     "solve_exact_single_class",
+    "LossQuantities",
+    "mmck_state_probabilities",
+    "mmck_loss_quantities",
+    "mm1k_loss_probability",
+    "mmck_loss_probability",
+    "mmck_mean_in_system",
+    "effective_throughput",
+    "solve_batch_with_loss",
     "LqnSolution",
     "LqnSolver",
     "SolverOptions",

@@ -75,6 +75,7 @@ def build_trade_model(
     session_read_cpu_ms: float = 0.8,
     session_read_disk_ms: float = 1.2,
     open_workload: dict[ServiceClass, float] | None = None,
+    app_queue_capacity: int | None = None,
 ) -> LqnModel:
     """Construct the Trade LQN for one application server and a workload.
 
@@ -93,6 +94,11 @@ def build_trade_model(
     ``open_workload`` (service class → request arrival rate in req/s) adds
     *open* sources — "clients sending requests at a constant rate", the
     section-8.1 system-model variation — alongside the closed populations.
+
+    ``app_queue_capacity`` bounds the application processor's total
+    occupancy (the K of M/M/c/K): the finite-capacity solve path then
+    predicts a loss probability for open classes instead of diverging at
+    offered loads past saturation.
     """
     model = LqnModel()
     model.add_processor(
@@ -101,6 +107,7 @@ def build_trade_model(
             scheduling=Scheduling.PROCESSOR_SHARING,
             multiplicity=arch.cores,
             speed=arch.cpu_speed / params.reference_speed,
+            queue_capacity=app_queue_capacity,
         )
     )
     model.add_processor(

@@ -65,16 +65,34 @@ class CallKind(enum.Enum):
 
 @dataclass(frozen=True, slots=True)
 class Processor:
-    """A hardware resource that executes entry host demands."""
+    """A hardware resource that executes entry host demands.
+
+    ``queue_capacity`` — when given — bounds the total requests the
+    processor can hold (in service plus waiting, the ``K`` of M/M/c/K):
+    offered *open* traffic beyond it is lost, and the solver reports the
+    closed-form loss probability instead of queueing it unboundedly.
+    Closed populations self-throttle and are never shed.
+    """
 
     name: str
     scheduling: Scheduling = Scheduling.PROCESSOR_SHARING
     multiplicity: int = 1
     speed: float = 1.0
+    queue_capacity: int | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.multiplicity, "multiplicity")
         check_positive(self.speed, "speed")
+        if self.queue_capacity is not None:
+            check_positive_int(self.queue_capacity, "queue_capacity")
+            require(
+                self.queue_capacity >= self.multiplicity,
+                f"processor {self.name!r} queue_capacity must be >= multiplicity",
+            )
+            require(
+                self.scheduling is not Scheduling.DELAY,
+                f"DELAY processor {self.name!r} has no queue to bound",
+            )
 
 
 @dataclass(frozen=True, slots=True)

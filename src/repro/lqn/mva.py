@@ -67,17 +67,34 @@ class StationKind(enum.Enum):
 
 @dataclass(frozen=True, slots=True)
 class Station:
-    """One service centre in the closed network."""
+    """One service centre in the closed network.
+
+    ``capacity`` — when given — bounds the total number of customers the
+    station can hold (servers plus waiting room, the ``K`` of M/M/c/K):
+    offered open traffic beyond it is *lost*, not queued.  The plain
+    :func:`solve_batch` core ignores the bound; the finite-capacity solve
+    path (:func:`repro.lqn.loss.solve_batch_with_loss`) composes the
+    closed-form loss terms around it.
+    """
 
     name: str
     kind: StationKind = StationKind.QUEUE
     servers: int = 1
     waiting_only: bool = False
+    capacity: int | None = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.servers, "servers")
         if self.kind is StationKind.DELAY and self.waiting_only:
             raise ValidationError("a DELAY station has no waiting to count")
+        if self.capacity is not None:
+            check_positive_int(self.capacity, "capacity")
+            if self.kind is StationKind.DELAY:
+                raise ValidationError("a DELAY station has no queue to bound")
+            require(
+                self.capacity >= self.servers,
+                "capacity must be >= servers (K >= c)",
+            )
 
 
 @dataclass
@@ -173,7 +190,10 @@ class MvaInput:
         :class:`MvaBatchInput`.
         """
         return (
-            tuple((s.name, s.kind, s.servers, s.waiting_only) for s in self.stations),
+            tuple(
+                (s.name, s.kind, s.servers, s.waiting_only, s.capacity)
+                for s in self.stations
+            ),
             tuple(self.class_names),
             tuple(self.open_class_names or ()),
         )
@@ -193,6 +213,10 @@ class MvaSolution:
     iterations: int = 0
     # Open-class estimates (mixed networks), keyed by open class name.
     open_response_ms: dict = field(default_factory=dict)
+    # Finite-capacity (loss) estimates — zero / empty on the unbounded path.
+    loss_probability: np.ndarray | None = None  # (K,) blocked fraction per station
+    capacity_mean_in_system: np.ndarray | None = None  # (K,) closed-form L
+    open_loss: dict = field(default_factory=dict)  # end-to-end loss per open class
 
     def throughput_per_s(self, class_name: str) -> float:
         """Class throughput in cycles (requests) per second."""
@@ -362,6 +386,11 @@ class MvaBatchSolution:
     utilisation: np.ndarray  # (B, K)
     iterations: np.ndarray  # (B,) fixed-point steps until each point froze
     open_response_ms: list[dict] = field(default_factory=list)  # one dict per point
+    # Finite-capacity (loss) estimates, filled by the loss solve path
+    # (None / empty when plain solve_batch produced the solution).
+    loss_probability: np.ndarray | None = None  # (B, K) blocked fraction
+    capacity_mean_in_system: np.ndarray | None = None  # (B, K) closed-form L
+    open_loss: list[dict] = field(default_factory=list)  # one dict per point
 
     @property
     def batch_size(self) -> int:
@@ -380,6 +409,17 @@ class MvaBatchSolution:
             utilisation=self.utilisation[b].copy(),
             iterations=int(self.iterations[b]),
             open_response_ms=dict(self.open_response_ms[b]),
+            loss_probability=(
+                self.loss_probability[b].copy()
+                if self.loss_probability is not None
+                else None
+            ),
+            capacity_mean_in_system=(
+                self.capacity_mean_in_system[b].copy()
+                if self.capacity_mean_in_system is not None
+                else None
+            ),
+            open_loss=dict(self.open_loss[b]) if self.open_loss else {},
         )
 
 

@@ -31,6 +31,24 @@ class LqnSolution:
     solve_time_s: float = 0.0
     converged: bool = True
     final_residual_ms: float = 0.0
+    # class name -> end-to-end loss probability (0.0 everywhere unless the
+    # model has finite-capacity processors; closed classes never shed).
+    loss_probability: dict[str, float] = field(default_factory=dict)
+    # processor name -> station-level blocked fraction (M/M/c/K P_K).
+    station_loss_probability: dict[str, float] = field(default_factory=dict)
+
+    def total_loss_rate_req_per_s(self) -> float:
+        """Total shed traffic across classes (requests/second).
+
+        ``throughput_req_per_s`` holds *carried* throughput, so each
+        class's offered rate is carried/(1 − loss).
+        """
+        total = 0.0
+        for name, loss in self.loss_probability.items():
+            if loss > 0.0:
+                carried = self.throughput_req_per_s.get(name, 0.0)
+                total += carried * loss / (1.0 - loss)
+        return total
 
     @property
     def class_names(self) -> list[str]:

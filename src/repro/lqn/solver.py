@@ -36,8 +36,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.faults.injector import INJECTOR
+from repro.lqn.loss import solve_batch_with_loss
 from repro.lqn.model import CallKind, LqnModel, Scheduling, Task
-from repro.lqn.mva import MvaBatchInput, MvaInput, Station, StationKind, solve_batch
+from repro.lqn.mva import MvaBatchInput, MvaInput, Station, StationKind
 from repro.lqn.results import LqnSolution
 from repro.trace import TRACER
 from repro.util.clock import SYSTEM_CLOCK, Clock
@@ -360,7 +361,14 @@ class LqnSolver:
             else:
                 kind = StationKind.QUEUE
             proc_index[proc.name] = len(stations)
-            stations.append(Station(name=f"proc:{proc.name}", kind=kind, servers=proc.multiplicity))
+            stations.append(
+                Station(
+                    name=f"proc:{proc.name}",
+                    kind=kind,
+                    servers=proc.multiplicity,
+                    capacity=proc.queue_capacity,
+                )
+            )
             station_names.append(f"proc:{proc.name}")
 
         task_station_index: dict[str, int] = {}
@@ -487,7 +495,11 @@ class LqnSolver:
         # runs the fixed point to queue_tol (accurate, slower).
         for stage in range(start_stage, 64):
             stage_tol = max(options.queue_tol, 10.0 ** (-stage))
-            solution = solve_batch(
+            # The finite-capacity wrapper: with no capacity stations (or
+            # when every loss probability underflows to 0.0 — the K→∞
+            # limit) it calls the unbounded core once on the unmodified
+            # input, so this stays bit-identical to the historical ladder.
+            solution = solve_batch_with_loss(
                 current,
                 tol=stage_tol,
                 max_iterations=options.max_iterations,
@@ -622,11 +634,17 @@ class LqnSolver:
             for proc_name in model.processors:
                 k = station_names.index(f"proc:{proc_name}")
                 residence[(task.name, proc_name)] = float(solution.residence_ms[c, k])
+        loss_probability: dict[str, float] = {t.name: 0.0 for t in closed}
         for task in classes:
             if task.is_open_reference:
                 response[task.name] = float(solution.open_response_ms[task.name])
-                # An open class's throughput equals its (stable) arrival rate.
-                throughput[task.name] = task.open_arrival_rate_per_s
+                # An open class's *carried* throughput: its (stable) arrival
+                # rate minus whatever finite-capacity processors shed.  With
+                # no capacity bounds the loss is exactly 0.0 and this is the
+                # arrival rate bit-for-bit.
+                loss = float(solution.open_loss.get(task.name, 0.0))
+                loss_probability[task.name] = loss
+                throughput[task.name] = task.open_arrival_rate_per_s * (1.0 - loss)
 
         processor_util = {
             proc_name: float(solution.utilisation[station_names.index(f"proc:{proc_name}")])
@@ -635,6 +653,15 @@ class LqnSolver:
         task_concurrency = {
             task_name: float(solution.queue_lengths[:, k].sum())
             for task_name, k in task_station_index.items()
+        }
+        station_loss = {
+            proc_name: (
+                float(solution.loss_probability[station_names.index(f"proc:{proc_name}")])
+                if solution.loss_probability is not None
+                else 0.0
+            )
+            for proc_name in model.processors
+            if model.processors[proc_name].queue_capacity is not None
         }
         return LqnSolution(
             response_ms=response,
@@ -646,4 +673,6 @@ class LqnSolver:
             solve_time_s=elapsed_s,
             converged=True,
             final_residual_ms=residual,
+            loss_probability=loss_probability,
+            station_loss_probability=station_loss,
         )

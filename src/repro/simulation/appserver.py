@@ -73,12 +73,21 @@ class AppServerSim:
         *,
         instance: str | None = None,
         session_cache: LruSessionCache | None = None,
+        queue_capacity: int | None = None,
     ) -> None:
         self.sim = sim
         self.arch = arch
         self.database = database
         self.name = instance if instance is not None else arch.name
-        self.threads = ThreadPool(sim, f"{self.name}:threads", arch.max_concurrency)
+        # ``queue_capacity`` bounds total occupancy (threads held + accept
+        # queue): arrivals beyond it are dropped, the K of M/M/c/K.
+        self.queue_capacity = queue_capacity
+        self.threads = ThreadPool(
+            sim,
+            f"{self.name}:threads",
+            arch.max_concurrency,
+            queue_capacity=queue_capacity,
+        )
         self.cpu = ProcessorSharingServer(
             sim,
             f"{self.name}:cpu",
@@ -89,6 +98,7 @@ class AppServerSim:
         self.session_cache = session_cache
         self._rng = rng
         self.completions = 0
+        self.drops = 0
         self.cache_miss_db_calls = 0
         database.register_source(self.name)
 
@@ -99,23 +109,39 @@ class AppServerSim:
         done_cb: Callable[[], None],
         *,
         priority: int = 0,
-    ) -> None:
+        dropped_cb: Callable[[], None] | None = None,
+    ) -> bool:
         """Serve one client request; ``done_cb`` fires when the response is
         ready to leave the server.  ``priority`` orders the thread queue
         (lower = more urgent; section 8.1's priority-discipline variation).
+
+        With a finite ``queue_capacity``, an arrival finding the server
+        full is shed: ``dropped_cb`` (when given) fires instead of
+        ``done_cb`` and ``handle`` returns ``False``.  The demand sampling
+        happens before admission — a real server sheds work it never got
+        to size up, and keeping the draw unconditional preserves the RNG
+        stream alignment between bounded and unbounded runs.
         """
         # Processing times are exponentially distributed (as the layered
         # queuing model assumes, section 5).
         demand = float(self._rng.exponential(op.app_demand_ms))
         db_calls = self._sample_db_calls(op.db_calls)
         req = _Request(client_id, op, demand, db_calls, done_cb)
-        self.threads.acquire(lambda r=req: self._on_thread(r), priority=priority)
+        admitted = self.threads.acquire(
+            lambda r=req: self._on_thread(r), priority=priority
+        )
+        if not admitted:
+            self.drops += 1
+            if dropped_cb is not None:
+                dropped_cb()
+        return admitted
 
     def reset_stats(self) -> None:
         """Restart measurement windows on the server's stations."""
         self.threads.reset_stats()
         self.cpu.reset_stats()
         self.completions = 0
+        self.drops = 0
         self.cache_miss_db_calls = 0
         if self.session_cache is not None:
             self.session_cache.reset_stats()

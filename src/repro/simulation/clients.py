@@ -150,8 +150,22 @@ class ClientPopulation:
                 o,
                 lambda: self._on_response(c),
                 priority=self.service_class.priority,
+                dropped_cb=lambda: self._on_drop(c),
             ),
             priority=EventPriority.ARRIVAL,
+        )
+
+    def _on_drop(self, client: _Client) -> None:
+        """The server shed this request (finite capacity): think and retry.
+
+        The refusal is recorded as a loss for the class; the client then
+        backs off for a full think time before its next attempt — a closed
+        population never disappears, it just re-offers later.
+        """
+        self.metrics.record_drop(self.service_class.name)
+        think = float(self._rng.exponential(self.service_class.think_time_ms))
+        self.sim.schedule(
+            think, lambda c=client: self._send(c), priority=EventPriority.ARRIVAL
         )
 
     def _on_response(self, client: _Client) -> None:

@@ -88,6 +88,12 @@ class MetricsCollector:
         self.window_start_ms = 0.0
         self.window_end_ms = 0.0
         self.warmup_completions = 0
+        # Dropped (shed) requests per service class within the measurement
+        # window; warm-up drops are counted separately, mirroring how
+        # warm-up completions are excluded from response statistics.
+        self._drops: dict[str, int] = {}
+        self.dropped_total = 0
+        self.warmup_drops = 0
         # Optional (time, class, response) trace for transient studies —
         # recorded for *every* completion, warm-up included, since transient
         # analysis is precisely about the warm-up.
@@ -120,6 +126,39 @@ class MetricsCollector:
         if service_class not in self._per_class:
             self._per_class[service_class] = ResponseTimeStats()
         self._per_class[service_class].record(response_ms)
+
+    def record_drop(self, service_class: str) -> None:
+        """Record a shed (dropped or balked) request for ``service_class``.
+
+        A drop has no response time — the request never entered service —
+        so it feeds the loss-rate metrics instead of the response
+        statistics.  Warm-up drops are excluded like warm-up completions.
+        """
+        if not self.measuring:
+            self.warmup_drops += 1
+            return
+        self.dropped_total += 1
+        self._drops[service_class] = self._drops.get(service_class, 0) + 1
+
+    def drops_for(self, service_class: str) -> int:
+        """Measured-window drops recorded for one service class."""
+        return self._drops.get(service_class, 0)
+
+    def drop_class_names(self) -> list[str]:
+        """Service classes with at least one recorded drop."""
+        return sorted(self._drops)
+
+    @property
+    def loss_rate(self) -> float:
+        """Dropped fraction of offered requests in the measurement window."""
+        offered = self.dropped_total + self._overall.count
+        return self.dropped_total / offered if offered else 0.0
+
+    def loss_rate_for(self, service_class: str) -> float:
+        """Per-class dropped fraction of offered requests."""
+        drops = self._drops.get(service_class, 0)
+        offered = drops + self.for_class(service_class).count
+        return drops / offered if offered else 0.0
 
     @property
     def overall(self) -> ResponseTimeStats:

@@ -58,6 +58,7 @@ class OpenArrivalProcess:
         self._source_id = next(_source_counter)
         self._request_counter = itertools.count()
         self.arrivals = 0
+        self.drops = 0
 
     def start(self) -> None:
         """Schedule the first arrival."""
@@ -86,10 +87,23 @@ class OpenArrivalProcess:
         self.sim.schedule(
             outbound,
             lambda: self.server.handle(
-                client_id, op, lambda: self._on_response(sent_at)
+                client_id,
+                op,
+                lambda: self._on_response(sent_at),
+                dropped_cb=self._on_drop,
             ),
             priority=EventPriority.ARRIVAL,
         )
+
+    def _on_drop(self) -> None:
+        """The server shed this arrival: an open source's request is lost.
+
+        Unlike a closed client there is no retry — the stream keeps
+        arriving at its constant rate regardless, which is exactly the
+        offered-vs-carried distinction the loss models predict.
+        """
+        self.drops += 1
+        self.metrics.record_drop(self.metric_class_name)
 
     def _on_response(self, sent_at_ms: float) -> None:
         inbound = self._net_delay()

@@ -25,10 +25,18 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.simulation.engine import Simulator
 from repro.simulation.events import Event, EventPriority
+from repro.trace import TRACER
 from repro.util.errors import SimulationError
-from repro.util.validation import check_non_negative, check_positive, check_positive_int
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    require,
+)
 
 __all__ = ["ProcessorSharingServer", "FifoServer", "ThreadPool", "StationStats"]
 
@@ -38,9 +46,51 @@ __all__ = ["ProcessorSharingServer", "FifoServer", "ThreadPool", "StationStats"]
 _WORK_EPS = 1e-9
 
 
+def _check_capacity(capacity: int | None, servers: int) -> int | None:
+    """Validate a finite-capacity bound against the server count."""
+    if capacity is None:
+        return None
+    check_positive_int(capacity, "capacity")
+    require(capacity >= servers, "capacity must be >= servers (K >= c)")
+    return capacity
+
+
+def _admit(station, n_in_system: int) -> bool:
+    """Drop/balk decision for one arrival finding ``n_in_system`` present.
+
+    *Drop* is the station's decision (hard ``capacity`` bound, connection
+    refused); *balk* is the client's (it saw the queue and left).  Both
+    shed the request before any service — analytically they are the same
+    blocked-state probability — but they are counted separately because a
+    retrying client treats them differently.  The balk draw consumes the
+    station's dedicated rng stream only when a curve is configured, so
+    default (no-balk) runs replay event-for-event.
+    """
+    if station.capacity is not None and n_in_system >= station.capacity:
+        station.stats.drops += 1
+        if TRACER.enabled:
+            TRACER.instant("sim.drop", station=station.name, in_system=n_in_system)
+        return False
+    if station.balk_fn is not None:
+        p = station.balk_fn(n_in_system)
+        if p > 0.0 and float(station._balk_rng.random()) < p:
+            station.stats.balks += 1
+            if TRACER.enabled:
+                TRACER.instant("sim.balk", station=station.name, in_system=n_in_system)
+            return False
+    return True
+
+
 @dataclass(slots=True)
 class StationStats:
-    """Cumulative counters for one station, resettable at the warm-up mark."""
+    """Cumulative counters for one station, resettable at the warm-up mark.
+
+    ``arrivals`` counts every offered request (admitted or not);
+    ``drops`` counts requests refused because the station was at its
+    finite ``capacity``; ``balks`` counts requests whose arriving client
+    chose to leave (the balk-probability curve).  Conservation holds at
+    any instant: ``arrivals == completions + drops + balks + in-system``.
+    """
 
     completions: int = 0
     busy_time_ms: float = 0.0
@@ -49,6 +99,15 @@ class StationStats:
     area_in_queue: float = 0.0  # time-integral of queued only
     window_start_ms: float = 0.0
     peak_in_system: int = 0
+    arrivals: int = 0
+    drops: int = 0
+    balks: int = 0
+
+    def loss_rate(self) -> float:
+        """Fraction of offered requests shed (dropped or balked)."""
+        if self.arrivals <= 0:
+            return 0.0
+        return (self.drops + self.balks) / self.arrivals
 
     def utilisation(self, now_ms: float) -> float:
         """Fraction of the measurement window in which the station was busy."""
@@ -89,6 +148,16 @@ class ProcessorSharingServer:
         Maximum number of requests time-shared at once (the WebSphere
         thread-pool limit: 50 for application servers, 20 for the database in
         the paper's case study).  Requests beyond the limit queue FIFO.
+    capacity:
+        Optional bound on the *total* number of requests at the station
+        (in service plus queued — the ``K`` of M/M/c/K).  An arrival
+        finding the station full is dropped: :meth:`submit` returns
+        ``False``, no callback ever fires, and ``stats.drops`` counts it.
+        ``None`` (the default) keeps today's unbounded queue bit-for-bit.
+    balk_fn / rng:
+        Optional balking curve: ``balk_fn(n_in_system)`` is the
+        probability an arriving request walks away given the current
+        occupancy, sampled with ``rng``.  Both must be given together.
     """
 
     def __init__(
@@ -99,6 +168,9 @@ class ProcessorSharingServer:
         speed: float = 1.0,
         max_concurrency: int = 1,
         cores: int = 1,
+        capacity: int | None = None,
+        balk_fn: Callable[[int], float] | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -107,6 +179,13 @@ class ProcessorSharingServer:
         # SMP generalisation: with c cores and n jobs in service, each job
         # progresses at speed * min(n, c) / n (no job exceeds one core).
         self.cores = check_positive_int(cores, "cores")
+        self.capacity = _check_capacity(capacity, self.max_concurrency)
+        self.balk_fn = balk_fn
+        self._balk_rng = rng
+        require(
+            balk_fn is None or rng is not None,
+            f"{name}: a balk_fn needs an rng to sample against",
+        )
         self._in_service: list[_PsJob] = []
         self._queue: deque[_PsJob] = deque()
         self._last_update_ms: float = sim.now
@@ -115,26 +194,34 @@ class ProcessorSharingServer:
 
     # -- public API ---------------------------------------------------------
 
-    def submit(self, work_ms: float, done_cb: Callable[[], None]) -> None:
+    def submit(self, work_ms: float, done_cb: Callable[[], None]) -> bool:
         """Offer a request with ``work_ms`` of CPU demand (at speed 1.0).
 
-        ``done_cb`` fires when the request's work completes.  Zero-work
-        requests complete immediately (still counted as completions).
+        Returns ``True`` and eventually fires ``done_cb`` when the request
+        is admitted; returns ``False`` — and never calls back — when the
+        station is at ``capacity`` (dropped) or the request balked.
+        Zero-work requests complete immediately (still counted as
+        completions).
         """
         check_non_negative(work_ms, "work_ms")
         self._advance()
+        self.stats.arrivals += 1
+        if not _admit(self, self.total_in_system):
+            self._reschedule()
+            return False
         job = _PsJob(remaining_ms=work_ms, done_cb=done_cb, arrived_ms=self.sim.now)
         if work_ms <= _WORK_EPS:
             self.stats.completions += 1
             done_cb()
             self._reschedule()
-            return
+            return True
         if len(self._in_service) < self.max_concurrency:
             self._in_service.append(job)
         else:
             self._queue.append(job)
         self._track_peak()
         self._reschedule()
+        return True
 
     @property
     def in_service(self) -> int:
@@ -232,7 +319,13 @@ class _FifoJob:
 
 
 class FifoServer:
-    """``c`` first-come-first-served servers with a shared FIFO queue."""
+    """``c`` first-come-first-served servers with a shared FIFO queue.
+
+    ``capacity`` optionally bounds the total requests at the station (the
+    ``K`` of M/M/c/K): an arrival finding it full is dropped —
+    :meth:`submit` returns ``False`` and ``stats.drops`` counts it.  A
+    ``balk_fn``/``rng`` pair adds a client-side balk-probability curve.
+    """
 
     def __init__(
         self,
@@ -241,26 +334,44 @@ class FifoServer:
         *,
         speed: float = 1.0,
         servers: int = 1,
+        capacity: int | None = None,
+        balk_fn: Callable[[int], float] | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.speed = check_positive(speed, "speed")
         self.servers = check_positive_int(servers, "servers")
+        self.capacity = _check_capacity(capacity, self.servers)
+        self.balk_fn = balk_fn
+        self._balk_rng = rng
+        require(
+            balk_fn is None or rng is not None,
+            f"{name}: a balk_fn needs an rng to sample against",
+        )
         self._queue: deque[_FifoJob] = deque()
         self._busy: int = 0
         self._last_update_ms: float = sim.now
         self.stats = StationStats(window_start_ms=sim.now)
 
-    def submit(self, service_ms: float, done_cb: Callable[[], None]) -> None:
-        """Offer a request needing ``service_ms`` of service (at speed 1.0)."""
+    def submit(self, service_ms: float, done_cb: Callable[[], None]) -> bool:
+        """Offer a request needing ``service_ms`` of service (at speed 1.0).
+
+        Returns ``True`` when admitted (``done_cb`` fires at completion),
+        ``False`` when dropped at ``capacity`` or balked — no callback.
+        """
         check_non_negative(service_ms, "service_ms")
         self._accumulate()
+        self.stats.arrivals += 1
+        if not _admit(self, self.total_in_system):
+            return False
         job = _FifoJob(service_ms=service_ms, done_cb=done_cb, arrived_ms=self.sim.now)
         if self._busy < self.servers:
             self._start(job)
         else:
             self._queue.append(job)
         self._track_peak()
+        return True
 
     @property
     def in_service(self) -> int:
@@ -328,12 +439,26 @@ class ThreadPool:
     default 0): waiters are served in (priority, arrival) order, which
     implements the "priority queuing disciplines" system-model variation of
     section 8.1.  With all-default priorities the pool is plain FIFO.
+
+    ``queue_capacity`` optionally bounds *total* occupancy (threads held
+    plus waiters — the ``K`` of M/M/c/K with ``c = capacity`` threads): an
+    arrival finding the pool at the bound is dropped, :meth:`acquire`
+    returns ``False``, and ``stats.drops`` counts it.  This is the load-
+    shedding bound of a real front-end's accept queue.
     """
 
-    def __init__(self, sim: Simulator, name: str, capacity: int) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        capacity: int,
+        *,
+        queue_capacity: int | None = None,
+    ) -> None:
         self.sim = sim
         self.name = name
         self.capacity = check_positive_int(capacity, "capacity")
+        self.queue_capacity = _check_capacity(queue_capacity, self.capacity)
         self._in_use = 0
         # Heap of (priority, seq, callback); seq preserves FIFO within a
         # priority level.
@@ -357,13 +482,26 @@ class ThreadPool:
         """Threads held plus requests waiting for one."""
         return self._in_use + len(self._waiters)
 
-    def acquire(self, granted_cb: Callable[[], None], *, priority: int = 0) -> None:
+    def acquire(self, granted_cb: Callable[[], None], *, priority: int = 0) -> bool:
         """Request a thread; ``granted_cb`` fires when one is assigned.
 
         The grant may be synchronous (pool not full) or deferred (priority
-        order, FIFO within a priority).
+        order, FIFO within a priority).  Returns ``True`` when the request
+        was admitted; ``False`` — and ``granted_cb`` never fires — when a
+        ``queue_capacity`` bound rejected it.
         """
         self._accumulate()
+        self.stats.arrivals += 1
+        if (
+            self.queue_capacity is not None
+            and self.total_in_system >= self.queue_capacity
+        ):
+            self.stats.drops += 1
+            if TRACER.enabled:
+                TRACER.instant(
+                    "sim.drop", station=self.name, in_system=self.total_in_system
+                )
+            return False
         if self._in_use < self.capacity:
             self._in_use += 1
             self._track_peak()
@@ -372,6 +510,7 @@ class ThreadPool:
             heapq.heappush(self._waiters, (priority, self._waiter_seq, granted_cb))
             self._waiter_seq += 1
             self._track_peak()
+        return True
 
     def release(self) -> None:
         """Return a thread; the most urgent longest-waiting request gets it."""

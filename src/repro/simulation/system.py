@@ -11,6 +11,7 @@ run many points).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.servers.architecture import DatabaseArchitecture, ServerArchitecture
@@ -21,6 +22,7 @@ from repro.simulation.clients import ClientPopulation
 from repro.simulation.database import DatabaseServerSim
 from repro.simulation.engine import Simulator
 from repro.simulation.metrics import MetricsCollector, ResponseTimeStats
+from repro.util.errors import SimulationSaturationWarning
 from repro.util.rng import RngStreams
 from repro.util.units import s_to_ms
 from repro.util.validation import check_non_negative, check_positive, require
@@ -61,6 +63,10 @@ class SimulationConfig:
     cache_bytes: int | None = None  # None => the architecture's full heap
     capture_trace: bool = False  # record (time, class, response) for every
     # completion, warm-up included — for transient (section 8.2) studies
+    # Finite accept-queue bound per app server (threads held + waiting; the
+    # K of M/M/c/K).  None keeps today's unbounded queues bit-for-bit;
+    # bounded servers shed overload as measured loss instead of growing.
+    queue_capacity: int | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.duration_s, "duration_s")
@@ -95,6 +101,12 @@ class SimulationResult:
     db_requests_per_app_request: float = 0.0
     # (time_ms, class, response_ms) per completion when capture_trace is on.
     trace: list = None
+    # Loss accounting (all zero when no queue_capacity bound is set).
+    dropped_requests: int = 0
+    per_class_drops: dict[str, int] = field(default_factory=dict)
+    per_server_drops: dict[str, int] = field(default_factory=dict)
+    loss_rate: float = 0.0
+    per_class_loss_rate: dict[str, float] = field(default_factory=dict)
 
     def percentile_ms(self, p: float, service_class: str | None = None) -> float:
         """The ``p``-quantile of measured response time (``p`` in [0, 1])."""
@@ -159,6 +171,7 @@ class SimulatedDeployment:
                 streams.get(f"service:{instance}"),
                 instance=instance,
                 session_cache=cache,
+                queue_capacity=self.config.queue_capacity,
             )
             servers[instance] = server
             for service_class, n_clients in workload.items():
@@ -210,6 +223,27 @@ class SimulatedDeployment:
         sim.run_until(end_ms)
         metrics.stop_measuring(sim.now)
 
+        if open_sources and self.config.queue_capacity is None:
+            # Bugfix: with open arrivals and an unbounded accept queue,
+            # rho >= 1 lets the thread queue grow for the whole run and the
+            # measured queue metrics silently describe a transient.  Emit
+            # the same kind of no-steady-state diagnostic the MVA core
+            # raises for hidden demand; a queue_capacity bound converts the
+            # growth into measured loss and silences this.
+            for name, server in servers.items():
+                queued = server.threads.queued
+                mean_queue = server.threads.stats.mean_in_queue(sim.now)
+                if queued >= server.threads.capacity and queued > 1.5 * mean_queue:
+                    warnings.warn(
+                        f"open arrival load saturates app server {name!r}: its "
+                        f"thread queue is still growing ({queued} waiting at "
+                        "the end of the run) so the model has no steady state;"
+                        " set SimulationConfig.queue_capacity to measure the "
+                        "overload as loss instead",
+                        SimulationSaturationWarning,
+                        stacklevel=2,
+                    )
+
         per_class_mean = {
             name: metrics.for_class(name).mean for name in metrics.class_names()
         }
@@ -256,6 +290,18 @@ class SimulatedDeployment:
                 else 0.0
             ),
             trace=metrics.trace if self.config.capture_trace else None,
+            dropped_requests=metrics.dropped_total,
+            per_class_drops={
+                name: metrics.drops_for(name) for name in metrics.drop_class_names()
+            },
+            per_server_drops={
+                name: server.threads.stats.drops for name, server in servers.items()
+            },
+            loss_rate=metrics.loss_rate,
+            per_class_loss_rate={
+                name: metrics.loss_rate_for(name)
+                for name in metrics.drop_class_names()
+            },
         )
 
 

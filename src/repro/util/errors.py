@@ -50,3 +50,16 @@ class ConvergenceError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class SimulationSaturationWarning(RuntimeWarning):
+    """An unbounded simulated queue grew without reaching steady state.
+
+    Emitted when open (constant-rate) arrivals saturate a server whose
+    accept queue has no capacity bound: queue metrics then measure a
+    transient that depends on the run length, not a steady state — the
+    simulation-side analogue of the MVA core's "the model has no steady
+    state" diagnostic for hidden demand.  Set
+    ``SimulationConfig.queue_capacity`` to convert the unbounded growth
+    into a measured loss rate instead.
+    """

@@ -42,15 +42,24 @@ __all__ = [
 ]
 
 _TRACE_COLUMNS = ("arrival_ms", "operation", "client_id")
+# Traces recorded against a finite-capacity server carry a fourth column
+# marking requests the server shed; drop-free traces keep the 3-column
+# layout so existing files and their consumers are untouched.
+_TRACE_COLUMNS_WITH_DROPS = _TRACE_COLUMNS + ("dropped",)
 
 
 @dataclass(frozen=True, slots=True)
 class TraceEntry:
-    """One request in a trace."""
+    """One request in a trace.
+
+    ``dropped`` marks an offered request that a finite-capacity server
+    shed instead of serving — present in traces recorded under overload.
+    """
 
     arrival_ms: float
     operation: str
     client_id: str
+    dropped: bool = False
 
     def __post_init__(self) -> None:
         check_non_negative(self.arrival_ms, "arrival_ms")
@@ -97,19 +106,40 @@ def generate_trace(
 
 
 def save_trace_csv(trace: list[TraceEntry], path: str | Path) -> Path:
-    """Write a trace as CSV; returns the path."""
+    """Write a trace as CSV; returns the path.
+
+    Drop-free traces use the legacy 3-column layout byte-for-byte; a trace
+    with at least one dropped entry gains the ``dropped`` column (0/1).
+    """
     target = Path(path)
+    with_drops = any(entry.dropped for entry in trace)
     with open(target, "w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(_TRACE_COLUMNS)
-        for entry in trace:
-            writer.writerow([repr(entry.arrival_ms), entry.operation, entry.client_id])
+        if with_drops:
+            writer.writerow(_TRACE_COLUMNS_WITH_DROPS)
+            for entry in trace:
+                writer.writerow(
+                    [
+                        repr(entry.arrival_ms),
+                        entry.operation,
+                        entry.client_id,
+                        "1" if entry.dropped else "0",
+                    ]
+                )
+        else:
+            writer.writerow(_TRACE_COLUMNS)
+            for entry in trace:
+                writer.writerow([repr(entry.arrival_ms), entry.operation, entry.client_id])
     return target
 
 
 def load_trace_csv(path: str | Path) -> list[TraceEntry]:
     """Read a trace written by :func:`save_trace_csv` (validates columns,
-    operation names, and arrival-time ordering)."""
+    operation names, and arrival-time ordering).
+
+    Accepts both the legacy 3-column layout and the 4-column layout with
+    the ``dropped`` marker.
+    """
     source = Path(path)
     if not source.exists():
         raise ValidationError(f"no trace file at {source}")
@@ -117,14 +147,20 @@ def load_trace_csv(path: str | Path) -> list[TraceEntry]:
     with open(source, newline="") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
-        if header is None or tuple(header) != _TRACE_COLUMNS:
+        if header is not None and tuple(header) == _TRACE_COLUMNS:
+            n_columns = 3
+        elif header is not None and tuple(header) == _TRACE_COLUMNS_WITH_DROPS:
+            n_columns = 4
+        else:
             raise ValidationError(f"unexpected trace header {header!r}")
         last = -1.0
         for line_number, row in enumerate(reader, start=2):
             if not row:
                 continue
-            if len(row) != 3:
-                raise ValidationError(f"{source}:{line_number}: want 3 columns")
+            if len(row) != n_columns:
+                raise ValidationError(
+                    f"{source}:{line_number}: want {n_columns} columns"
+                )
             try:
                 arrival = float(row[0])
             except ValueError as exc:
@@ -135,7 +171,22 @@ def load_trace_csv(path: str | Path) -> list[TraceEntry]:
                     f"{source}:{line_number}: arrivals must be non-decreasing"
                 )
             last = arrival
-            entries.append(TraceEntry(arrival_ms=arrival, operation=row[1], client_id=row[2]))
+            if n_columns == 4:
+                if row[3] not in ("0", "1"):
+                    raise ValidationError(
+                        f"{source}:{line_number}: dropped must be 0 or 1"
+                    )
+                dropped = row[3] == "1"
+            else:
+                dropped = False
+            entries.append(
+                TraceEntry(
+                    arrival_ms=arrival,
+                    operation=row[1],
+                    client_id=row[2],
+                    dropped=dropped,
+                )
+            )
     return entries
 
 

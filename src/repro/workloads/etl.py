@@ -44,13 +44,17 @@ def records_from_trace_entries(entries: Iterable[TraceEntry]) -> RecordSet:
 
     Arrival traces carry no service times, so think-time extraction will
     use per-client arrival gaps (see
-    :meth:`~repro.workloads.records.RecordSet.think_times_ms`).
+    :meth:`~repro.workloads.records.RecordSet.think_times_ms`).  The
+    ``dropped`` marker (traces recorded against finite-capacity servers)
+    carries through, so ``RecordSet.loss_rate`` reflects the recorded
+    drops.
     """
     return RecordSet(
         RequestRecord(
             arrival_ms=entry.arrival_ms,
             operation=entry.operation,
             client_id=entry.client_id,
+            dropped=entry.dropped,
         )
         for entry in entries
     )

@@ -37,12 +37,18 @@ class RequestRecord:
     ``service_ms`` is the measured service (response) time when the
     source log carries one (JSONL span logs do; plain arrival traces do
     not) and ``None`` otherwise — think-time extraction adapts.
+
+    ``dropped`` marks an offered request that a finite-capacity server
+    shed instead of serving (traces recorded under overload carry a
+    ``dropped`` column); dropped requests count toward offered arrival
+    rates but have no service time.
     """
 
     arrival_ms: float
     operation: str
     client_id: str
     service_ms: float | None = None
+    dropped: bool = False
 
     def __post_init__(self) -> None:
         check_non_negative(self.arrival_ms, "arrival_ms")
@@ -98,6 +104,16 @@ class RecordSet:
     def n_clients(self) -> int:
         """Distinct client identities observed."""
         return len({r.client_id for r in self._records})
+
+    @property
+    def dropped_count(self) -> int:
+        """Requests marked as shed by a finite-capacity server."""
+        return sum(1 for r in self._records if r.dropped)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of offered requests that were dropped."""
+        return self.dropped_count / len(self._records)
 
     def arrivals_ms(self) -> np.ndarray:
         """All arrival instants, ascending (ms)."""

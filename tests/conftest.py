@@ -25,6 +25,34 @@ def pytest_addoption(parser: pytest.Parser) -> None:
 
 
 @pytest.fixture(scope="session")
+def assert_station_conserved():
+    """Reusable conservation-law check for any simulation station.
+
+    Every station (:class:`~repro.simulation.resources.FifoServer`,
+    ``ProcessorSharingServer``, ``ThreadPool``) must satisfy, at *any*
+    instant, ``arrivals == completions + drops + balks + in-system`` —
+    no request is ever created, duplicated or silently lost.  Valid
+    whenever the station's stats window covers its whole life (i.e. no
+    mid-flight ``reset_stats``); returns the checker so tests can probe
+    mid-run and at drain.
+    """
+
+    def check(station, label: str = "") -> None:
+        stats = station.stats
+        accounted = (
+            stats.completions + stats.drops + stats.balks + station.total_in_system
+        )
+        assert stats.arrivals == accounted, (
+            f"conservation violated at {label or station.name}: "
+            f"{stats.arrivals} arrivals != {stats.completions} completions + "
+            f"{stats.drops} drops + {stats.balks} balks + "
+            f"{station.total_in_system} in system"
+        )
+
+    return check
+
+
+@pytest.fixture(scope="session")
 def tiny_config() -> SimulationConfig:
     """A very short simulation config for functional (non-statistical) tests."""
     return SimulationConfig(duration_s=10.0, warmup_s=2.0, seed=7)

@@ -170,3 +170,99 @@ def test_capacity_answers_agree_on_the_reference_server(methods):
         h = historical.max_clients("AppServS", goal_ms)
         l = lqn.max_clients("AppServS", goal_ms)
         assert _rel(float(h), float(l)) <= CAPACITY_RTOL, (goal_ms, h, l)
+
+
+# -- the loss band: sim / LQN / historical agree on shed load -----------------
+#
+# The overload sweep measures the same bounded server three ways (discrete-
+# event simulation, finite-capacity LQN fixed point, calibrated loss
+# relationship).  Like response times, loss agreement is banded: below
+# capacity every method must say (essentially) zero; at the knee the methods
+# genuinely differ on *when* shedding starts, so only absolute closeness
+# holds; deep in overload all three ride 1 - C/x and agree relatively.
+
+#: Below capacity the analytic blocking probability is indistinguishable
+#: from zero; the stochastic and fitted methods report exactly zero.
+LOSS_ANALYTIC_ZERO = 1e-9
+#: Band edges as fractions of the historically calibrated carried capacity.
+LOSS_LOW_FRACTION = 0.75
+LOSS_SATURATED_FRACTION = 1.2
+#: Knee band: absolute loss agreement (the knee is a few percent wide).
+LOSS_KNEE_ATOL = 0.12
+#: Saturated band: relative agreement on a by-then-large loss fraction.
+LOSS_SATURATED_RTOL = 0.25
+
+
+@pytest.fixture(scope="module")
+def loss_sweep():
+    """The overload experiment's fast-mode sweep (seeded, deterministic)."""
+    from repro.experiments import overload
+
+    data = overload.run(fast=True).data
+    capacity = data["historical_calibration"]["refit_carried_capacity_req_per_s"]
+    return data["sweep"], capacity
+
+
+def _loss_points(sweep, capacity, predicate):
+    for point in sweep:
+        fraction = point["offered_req_per_s"] / capacity
+        if predicate(fraction):
+            yield point
+
+
+def test_loss_is_zero_below_capacity(loss_sweep):
+    sweep, capacity = loss_sweep
+    points = list(_loss_points(sweep, capacity, lambda f: f <= LOSS_LOW_FRACTION))
+    assert points, "sweep must cover the below-capacity band"
+    for point in points:
+        assert point["sim"]["loss_rate"] == 0.0, point
+        assert point["historical"]["loss_rate"] == 0.0, point
+        assert point["analytic"]["loss_probability"] < LOSS_ANALYTIC_ZERO, point
+
+
+def test_loss_knee_band_agrees_absolutely(loss_sweep):
+    sweep, capacity = loss_sweep
+    points = list(
+        _loss_points(
+            sweep, capacity, lambda f: LOSS_LOW_FRACTION < f < LOSS_SATURATED_FRACTION
+        )
+    )
+    assert points, "sweep must cross the loss knee"
+    for point in points:
+        values = [
+            point["sim"]["loss_rate"],
+            point["analytic"]["loss_probability"],
+            point["historical"]["loss_rate"],
+        ]
+        assert max(values) - min(values) <= LOSS_KNEE_ATOL, (point, values)
+
+
+def test_loss_saturated_band_agrees_relatively(loss_sweep):
+    sweep, capacity = loss_sweep
+    points = list(
+        _loss_points(sweep, capacity, lambda f: f >= LOSS_SATURATED_FRACTION)
+    )
+    assert points, "sweep must reach deep overload"
+    for point in points:
+        sim = point["sim"]["loss_rate"]
+        lqn = point["analytic"]["loss_probability"]
+        hist = point["historical"]["loss_rate"]
+        assert _rel(sim, lqn) <= LOSS_SATURATED_RTOL, point
+        assert _rel(hist, lqn) <= LOSS_SATURATED_RTOL, point
+
+
+def test_loss_curves_are_monotone_in_offered_load(loss_sweep):
+    sweep, _ = loss_sweep
+    for key in ("sim", "analytic", "historical"):
+        field = "loss_probability" if key == "analytic" else "loss_rate"
+        curve = [point[key][field] for point in sweep]
+        assert curve == sorted(curve), (key, curve)
+
+
+def test_analytic_loss_is_closed_form_anchored(loss_sweep):
+    """The LQN station loss equals the raw M/M/c/K blocking at 1e-9."""
+    sweep, _ = loss_sweep
+    for point in sweep:
+        station = point["analytic"]["station_loss_probability"]
+        anchor = point["closed_form_mmck_loss"]
+        assert abs(station - anchor) <= LOSS_ANALYTIC_ZERO, point

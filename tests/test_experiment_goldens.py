@@ -39,6 +39,7 @@ GOLDEN_EXPERIMENTS = {
     "fig6": "repro.experiments.fig6",
     "table1": "repro.experiments.table1",
     "workloads": "repro.experiments.workloads",
+    "overload": "repro.experiments.overload",
 }
 
 
@@ -107,6 +108,21 @@ def test_experiment_matches_golden(experiment_id, request):
         experiment_id,
         "\n".join(problems[:20]),
     )
+
+
+def test_overload_artefact_is_byte_reproducible():
+    """Two in-process runs of the overload experiment serialize identically.
+
+    The CI ``overload`` job proves the same thing across two separate
+    processes; this is the fast in-suite version of that determinism
+    gate (seeded simulation, fake-clocked retry storm, temp-dir trace
+    round trip — nothing may leak wall-clock or filesystem state).
+    """
+    from repro.experiments import overload
+
+    first = _dump(_normalise(overload.run(fast=True).data))
+    second = _dump(_normalise(overload.run(fast=True).data))
+    assert first == second
 
 
 def test_goldens_are_canonically_formatted():

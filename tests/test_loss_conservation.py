@@ -1,0 +1,171 @@
+"""Conservation laws for the loss-aware simulation layer.
+
+Finite capacity turns "every arrival is eventually served" into an
+accounting problem: a request now ends in exactly one of *completed*,
+*dropped* (station's decision), *balked* (client's decision) or *still
+in system*.  These tests pin the ledger — per station at any instant,
+per request class at drain, and across every view the deployment-level
+metrics expose — using the shared ``assert_station_conserved`` fixture
+from ``conftest``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import spawn_rng
+
+from repro.servers.catalogue import APP_SERV_S, DB_SERVER
+from repro.simulation.appserver import AppServerSim
+from repro.simulation.database import DatabaseServerSim
+from repro.simulation.engine import Simulator
+from repro.simulation.resources import FifoServer, ProcessorSharingServer, ThreadPool
+from repro.simulation.system import SimulatedDeployment, SimulationConfig
+from repro.workload.operations import operation
+from repro.workload.trade import browse_class
+
+
+def _poisson_load(sim, station, *, n, rate_per_ms, service_ms, seed):
+    """Schedule ``n`` Poisson arrivals with exponential service demands."""
+    rng = spawn_rng(seed, "poisson-load")
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_per_ms, n))
+    services = rng.exponential(service_ms, n)
+    for at, work in zip(arrivals, services):
+        sim.schedule(float(at), lambda w=float(work): station.submit(w, lambda: None))
+    return float(arrivals[-1])
+
+
+class TestStationConservation:
+    def test_fifo_with_drops_and_balks_at_any_instant(self, assert_station_conserved):
+        sim = Simulator()
+        station = FifoServer(
+            sim,
+            "fifo",
+            capacity=6,
+            balk_fn=lambda n: 0.3 if n >= 3 else 0.0,
+            rng=spawn_rng(5, "balk"),
+        )
+        horizon = _poisson_load(
+            sim, station, n=4000, rate_per_ms=0.15, service_ms=10.0, seed=11
+        )
+        # Probe the invariant *while* the station churns, not just at the end.
+        for probe_ms in np.linspace(horizon * 0.1, horizon * 0.9, 7):
+            sim.schedule(
+                float(probe_ms), lambda: assert_station_conserved(station, "mid-run")
+            )
+        sim.run_until(horizon + 1e6)
+        assert station.total_in_system == 0  # drained
+        assert station.stats.drops > 0 and station.stats.balks > 0
+        assert_station_conserved(station, "at drain")
+
+    def test_processor_sharing_with_capacity(self, assert_station_conserved):
+        sim = Simulator()
+        station = ProcessorSharingServer(sim, "ps", max_concurrency=4, capacity=7)
+        horizon = _poisson_load(
+            sim, station, n=4000, rate_per_ms=0.13, service_ms=10.0, seed=13
+        )
+        for probe_ms in np.linspace(horizon * 0.2, horizon * 0.8, 5):
+            sim.schedule(
+                float(probe_ms), lambda: assert_station_conserved(station, "mid-run")
+            )
+        sim.run_until(horizon + 1e6)
+        assert station.stats.drops > 0
+        assert_station_conserved(station, "at drain")
+
+    def test_thread_pool_with_queue_capacity(self, assert_station_conserved):
+        sim = Simulator()
+        pool = ThreadPool(sim, "pool", capacity=3, queue_capacity=8)
+        rng = spawn_rng(17, "pool-load")
+
+        def request(hold_ms: float) -> None:
+            pool.acquire(lambda: sim.schedule(hold_ms, pool.release))
+
+        arrivals = np.cumsum(rng.exponential(2.0, 2000))
+        for at, hold in zip(arrivals, rng.exponential(8.0, 2000)):
+            sim.schedule(float(at), lambda h=float(hold): request(h))
+        for probe_ms in np.linspace(arrivals[-1] * 0.2, arrivals[-1] * 0.8, 5):
+            sim.schedule(
+                float(probe_ms), lambda: assert_station_conserved(pool, "mid-run")
+            )
+        sim.run_until(float(arrivals[-1]) + 1e6)
+        assert pool.stats.drops > 0
+        assert pool.total_in_system == 0
+        assert_station_conserved(pool, "at drain")
+
+
+class TestPerClassConservationAtDrain:
+    def test_app_server_accounts_for_every_request_per_class(
+        self, assert_station_conserved
+    ):
+        """Offered == served + dropped per class once the server drains."""
+        sim = Simulator()
+        database = DatabaseServerSim(sim, DB_SERVER)
+        server = AppServerSim(
+            sim,
+            APP_SERV_S,
+            database,
+            spawn_rng(23, "appserver"),
+            queue_capacity=55,
+        )
+        rng = spawn_rng(29, "inject")
+        classes = {"browse": ("home", 500), "buy": ("buy", 250)}
+        ledger = {name: {"served": 0, "dropped": 0} for name in classes}
+
+        def inject(class_name: str, op_name: str, index: int, at_ms: float) -> None:
+            entry = ledger[class_name]
+            sim.schedule(
+                at_ms,
+                lambda: server.handle(
+                    f"{class_name}/{index}",
+                    operation(op_name),
+                    lambda: entry.__setitem__("served", entry["served"] + 1),
+                    dropped_cb=lambda: entry.__setitem__(
+                        "dropped", entry["dropped"] + 1
+                    ),
+                ),
+            )
+
+        # ~214 req/s offered against a ~86 req/s server: the accept queue
+        # fills, so a visible share of each class is shed.
+        for class_name, (op_name, count) in classes.items():
+            arrivals = np.cumsum(rng.exponential(7.0, count))
+            for index, at in enumerate(arrivals):
+                inject(class_name, op_name, index, float(at))
+
+        sim.run_until(1e9)  # long past the last arrival: fully drained
+
+        for class_name, (_, count) in classes.items():
+            entry = ledger[class_name]
+            assert entry["served"] + entry["dropped"] == count, (class_name, entry)
+            assert entry["served"] > 0
+        assert sum(e["dropped"] for e in ledger.values()) > 0
+
+        # Per-server ledgers close too, at every station on the path.
+        assert server.threads.total_in_system == 0
+        for station in (server.threads, server.cpu, database.cpu, database.disk):
+            assert_station_conserved(station, "post-drain")
+        total = sum(count for _, count in classes.values())
+        assert server.threads.stats.arrivals == total
+        assert server.threads.stats.drops == sum(
+            e["dropped"] for e in ledger.values()
+        )
+
+
+class TestDeploymentDropBookkeeping:
+    def test_every_metrics_view_counts_the_same_drops(self):
+        """Per-class, per-server and total drop counts must be one number."""
+        result = SimulatedDeployment(
+            placements={APP_SERV_S.name: (APP_SERV_S, {})},
+            config=SimulationConfig(
+                duration_s=12.0, warmup_s=3.0, seed=19, queue_capacity=60
+            ),
+            open_arrivals={APP_SERV_S.name: {browse_class(): 140.0}},
+        ).run()
+        assert result.dropped_requests > 0
+        assert sum(result.per_class_drops.values()) == result.dropped_requests
+        assert sum(result.per_server_drops.values()) == result.dropped_requests
+        offered = result.dropped_requests + result.samples
+        assert result.loss_rate == result.dropped_requests / offered
+        for name, drops in result.per_class_drops.items():
+            class_offered = drops + result.per_class_stats[name].count
+            assert result.per_class_loss_rate[name] == drops / class_offered

@@ -66,6 +66,7 @@ def test_experiment_registry_complete():
         "chaos",
         "workloads",
         "sharded_serving",
+        "overload",
     }
     assert set(EXPERIMENTS) == expected
 
